@@ -1,0 +1,103 @@
+// Command graphgen generates the benchmark graph families and prints their
+// parameters (n, m, Δ, arboricity bounds, components, diameter for small
+// graphs), optionally emitting Graphviz DOT for inspection.
+//
+// Usage:
+//
+//	graphgen -family gnp -n 100 -p 0.05 [-dot] [-seed S]
+//	graphgen -family regular -n 64 -d 4
+//	graphgen -family forest -n 128 -k 3
+//	graphgen -family cycle|path|star|clique|grid|tree -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/unilocal/unilocal/internal/graph"
+)
+
+var (
+	flagFamily = flag.String("family", "gnp", "graph family: gnp, regular, forest, cycle, path, star, clique, grid, tree, caterpillar")
+	flagN      = flag.Int("n", 64, "number of nodes (rows*cols for grid)")
+	flagP      = flag.Float64("p", 0.05, "edge probability (gnp)")
+	flagD      = flag.Int("d", 4, "degree (regular)")
+	flagK      = flag.Int("k", 2, "forest count (forest) / legs (caterpillar)")
+	flagSeed   = flag.Int64("seed", 1, "generator seed")
+	flagDot    = flag.Bool("dot", false, "emit Graphviz DOT to stdout")
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	g, err := build()
+	if err != nil {
+		return err
+	}
+	lo, hi := graph.ArboricityBounds(g)
+	_, comps := graph.Components(g)
+	fmt.Fprintf(os.Stderr, "family=%s n=%d edges=%d maxdeg=%d maxid=%d arboricity∈[%d,%d] components=%d\n",
+		*flagFamily, g.N(), g.NumEdges(), g.MaxDegree(), g.MaxIDValue(), lo, hi, comps)
+	if g.N() <= 2048 {
+		fmt.Fprintf(os.Stderr, "diameter=%d degeneracy=%d\n", graph.Diameter(g), deg(g))
+	}
+	if *flagDot {
+		emitDOT(g)
+	}
+	return nil
+}
+
+func deg(g *graph.Graph) int {
+	d, _ := graph.Degeneracy(g)
+	return d
+}
+
+func build() (*graph.Graph, error) {
+	n := *flagN
+	switch *flagFamily {
+	case "gnp":
+		return graph.GNP(n, *flagP, *flagSeed)
+	case "regular":
+		return graph.RandomRegular(n, *flagD, *flagSeed)
+	case "forest":
+		return graph.ForestUnion(n, *flagK, *flagSeed), nil
+	case "cycle":
+		return graph.Cycle(n)
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "clique":
+		return graph.Complete(n), nil
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "tree":
+		return graph.RandomTree(n, *flagSeed), nil
+	case "caterpillar":
+		return graph.Caterpillar(n, *flagK), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", *flagFamily)
+	}
+}
+
+func emitDOT(g *graph.Graph) {
+	fmt.Println("graph G {")
+	for u := 0; u < g.N(); u++ {
+		fmt.Printf("  %d [label=\"%d\"];\n", u, g.ID(u))
+	}
+	for _, e := range g.Edges() {
+		fmt.Printf("  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Println("}")
+}

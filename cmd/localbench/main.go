@@ -1,0 +1,355 @@
+// Command localbench regenerates the measured counterpart of every Table 1
+// row and corollary of Korman–Sereni–Viennot as markdown tables: for each
+// experiment it runs the non-uniform baseline with correct guesses and the
+// uniform algorithm produced by the paper's transformers, and reports the
+// round counts and their ratio. EXPERIMENTS.md is built from this output.
+//
+// Usage:
+//
+//	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/unilocal/unilocal/internal/algorithms/luby"
+	"github.com/unilocal/unilocal/internal/engines"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "localbench:", err)
+		os.Exit(1)
+	}
+}
+
+var (
+	flagExp   = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
+	flagSeed  = flag.Int64("seed", 1, "simulation seed")
+	flagLarge = flag.Bool("large", false, "use larger size sweeps")
+)
+
+func run() error {
+	flag.Parse()
+	exps := map[string]func() error{
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E6": e6,
+		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E13": e13,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10", "E13"}
+	want := strings.ToUpper(*flagExp)
+	ran := false
+	for _, id := range order {
+		if want != "ALL" && want != id {
+			continue
+		}
+		if err := exps[id](); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *flagExp)
+	}
+	return nil
+}
+
+func sizes(small []int, large []int) []int {
+	if *flagLarge {
+		return large
+	}
+	return small
+}
+
+// row runs baseline and uniform on one graph and prints a table row.
+func row(label string, g *graph.Graph, baseline, uniform local.Algorithm, check func([]any) error) error {
+	nu, err := local.Run(g, baseline, local.Options{Seed: *flagSeed})
+	if err != nil {
+		return err
+	}
+	un, err := local.Run(g, uniform, local.Options{Seed: *flagSeed})
+	if err != nil {
+		return err
+	}
+	if err := check(un.Outputs); err != nil {
+		return fmt.Errorf("uniform output invalid on %s: %w", label, err)
+	}
+	fmt.Printf("| %s | %d | %d | %d | %.2f |\n",
+		label, g.N(), nu.Rounds, un.Rounds, float64(un.Rounds)/float64(nu.Rounds))
+	return nil
+}
+
+func header(title, caption string) {
+	fmt.Printf("\n### %s\n\n%s\n\n", title, caption)
+	fmt.Println("| graph | n | non-uniform rounds | uniform rounds | ratio |")
+	fmt.Println("|---|---|---|---|---|")
+}
+
+func misCheck(g *graph.Graph) func([]any) error {
+	return func(outputs []any) error {
+		in, err := problems.Bools(outputs)
+		if err != nil {
+			return err
+		}
+		return problems.ValidMIS(g, in)
+	}
+}
+
+func e1() error {
+	header("E1 — Det. MIS / (Δ+1)-coloring, O(Δ + log* n) row (Theorem 1)",
+		"colormis with correct {Δ, m} vs the Theorem 1 uniform transform (MIS pruner).")
+	uniform := engines.UniformMISDelta()
+	for _, n := range sizes([]int{256, 1024, 4096}, []int{1024, 4096, 16384}) {
+		cyc, err := graph.Cycle(n)
+		if err != nil {
+			return err
+		}
+		reg, err := graph.RandomRegular(n, 4, int64(n))
+		if err != nil {
+			return err
+		}
+		gnp, err := graph.GNP(n, 8/float64(n-1), int64(n))
+		if err != nil {
+			return err
+		}
+		for _, fam := range []struct {
+			name string
+			g    *graph.Graph
+		}{{"cycle", cyc}, {"regular4", reg}, {"gnp8", gnp}} {
+			if err := row(fam.name, fam.g, engines.NonUniformMISDelta(fam.g), uniform, misCheck(fam.g)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func e2() error {
+	header("E2 — Det. MIS with size-only knowledge (PS slot; greedy substitution)",
+		"truncated greedy-by-identity with correct m vs its Theorem 1 uniform transform.")
+	uniform := engines.UniformMISID()
+	for _, n := range sizes([]int{64, 256, 1024}, []int{256, 1024, 8192}) {
+		g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+		if err != nil {
+			return err
+		}
+		if err := row("gnp6", g, engines.NonUniformMISID(g), uniform, misCheck(g)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e3() error {
+	header("E3 — Det. MIS on bounded arboricity (Theorem 1, product bound; Theorem 3)",
+		"H-partition MIS with correct {a, n, m} vs the uniform transform with the Obs 4.1 product set-sequence.")
+	uniform := engines.UniformMISArb()
+	for _, n := range sizes([]int{256, 1024}, []int{1024, 8192}) {
+		for _, a := range []int{1, 3} {
+			g := graph.ForestUnion(n, a, int64(n*a))
+			if err := row(fmt.Sprintf("forest(a≤%d)", a), g, engines.NonUniformMISArb(g), uniform, misCheck(g)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func e4() error {
+	header("E4 — λ(Δ+1)-coloring trade-off (Theorem 5)",
+		"non-uniform λ-coloring with correct {Δ, m} vs the Theorem 5 uniform coloring; rounds fall as λ grows.")
+	n := sizes([]int{512}, []int{2048})[0]
+	g, err := graph.RandomRegular(n, 8, int64(n))
+	if err != nil {
+		return err
+	}
+	for _, lambda := range []int{1, 2, 4, 8} {
+		uniform, err := engines.UniformLambdaColoring(lambda)
+		if err != nil {
+			return err
+		}
+		check := func(outputs []any) error {
+			colors, err := problems.Ints(outputs)
+			if err != nil {
+				return err
+			}
+			return problems.ValidColoring(g, colors, 0)
+		}
+		if err := row(fmt.Sprintf("regular8, λ=%d", lambda), g,
+			engines.NonUniformLambdaColoring(lambda)(g), uniform, check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e6() error {
+	header("E6 — Maximal matching (Theorem 1 + P_MM)",
+		"line-graph matching with correct {Δ, m} vs its uniform transform (HKP slot, see DESIGN.md §4).")
+	uniform := engines.UniformMatching()
+	for _, n := range sizes([]int{256, 1024}, []int{1024, 4096}) {
+		g, err := graph.GNP(n, 5/float64(n-1), int64(n))
+		if err != nil {
+			return err
+		}
+		check := func(outputs []any) error { return problems.ValidMaximalMatching(g, outputs) }
+		if err := row("gnp5", g, engines.NonUniformMatching(g), uniform, check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e7() error {
+	header("E7 — Randomized (2,β)-ruling set (Theorem 2: Monte Carlo → Las Vegas)",
+		"truncated power-graph Luby with correct n vs the uniform Las Vegas transform (P(2,β) pruner).")
+	n := sizes([]int{512}, []int{2048})[0]
+	g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+	if err != nil {
+		return err
+	}
+	for _, beta := range []int{1, 2, 3} {
+		uniform := engines.LasVegasRulingSet(beta)
+		check := func(outputs []any) error {
+			in, err := problems.Bools(outputs)
+			if err != nil {
+				return err
+			}
+			return problems.ValidRulingSet(g, in, 2, beta)
+		}
+		if err := row(fmt.Sprintf("gnp8, β=%d", beta), g,
+			engines.NonUniformRulingSet(beta)(g), uniform, check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e8() error {
+	fmt.Printf("\n### E8 — Rand. MIS, uniform O(log n) (Luby)\n\n")
+	fmt.Println("| graph | n | rounds (avg over 5 seeds) | log2(n) |")
+	fmt.Println("|---|---|---|---|")
+	for _, n := range sizes([]int{1024, 4096, 16384}, []int{4096, 16384, 65536}) {
+		g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+		if err != nil {
+			return err
+		}
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := local.Run(g, luby.New(), local.Options{Seed: seed})
+			if err != nil {
+				return err
+			}
+			if err := misCheck(g)(res.Outputs); err != nil {
+				return err
+			}
+			total += res.Rounds
+		}
+		lg := 0
+		for v := n; v > 1; v >>= 1 {
+			lg++
+		}
+		fmt.Printf("| gnp8 | %d | %.1f | %d |\n", n, float64(total)/5, lg)
+	}
+	return nil
+}
+
+func e9() error {
+	fmt.Printf("\n### E9 — Corollary 1(i): min of three engines (Theorem 4)\n\n")
+	fmt.Println("| graph | n | Δ | best-MIS rounds | Δ-engine rounds | id-engine rounds | arb-engine rounds |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	combined := engines.BestMIS()
+	cyc, err := graph.Cycle(sizes([]int{1024}, []int{4096})[0])
+	if err != nil {
+		return err
+	}
+	for _, fam := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star", graph.Star(sizes([]int{1024}, []int{4096})[0])},
+		{"clique", graph.Complete(sizes([]int{64}, []int{128})[0])},
+		{"cycle", cyc},
+	} {
+		g := fam.g
+		rounds := func(a local.Algorithm) (int, error) {
+			res, err := local.Run(g, a, local.Options{Seed: *flagSeed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		}
+		best, err := rounds(combined)
+		if err != nil {
+			return err
+		}
+		rd, err := rounds(engines.NonUniformMISDelta(g))
+		if err != nil {
+			return err
+		}
+		ri, err := rounds(engines.NonUniformMISID(g))
+		if err != nil {
+			return err
+		}
+		ra, err := rounds(engines.NonUniformMISArb(g))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %s | %d | %d | %d | %d | %d | %d |\n", fam.name, g.N(), g.MaxDegree(), best, rd, ri, ra)
+	}
+	return nil
+}
+
+func e10() error {
+	fmt.Printf("\n### E10 — Section 5.1: uniform (deg+1)-coloring from uniform MIS\n\n")
+	fmt.Println("| graph | n | rounds | max color | Δ+1 |")
+	fmt.Println("|---|---|---|---|---|")
+	uniform := engines.UniformDegPlusOneColoring(engines.LubyMIS())
+	for _, n := range sizes([]int{256, 1024}, []int{1024, 4096}) {
+		g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+		if err != nil {
+			return err
+		}
+		res, err := local.Run(g, uniform, local.Options{Seed: *flagSeed})
+		if err != nil {
+			return err
+		}
+		colors, err := problems.Ints(res.Outputs)
+		if err != nil {
+			return err
+		}
+		if err := problems.ValidColoring(g, colors, g.MaxDegree()+1); err != nil {
+			return err
+		}
+		fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, res.Rounds, problems.MaxColor(colors), g.MaxDegree()+1)
+	}
+	return nil
+}
+
+func e13() error {
+	fmt.Printf("\n### E13 — Observation 2.1: composition under skewed wake-up\n\n")
+	fmt.Println("| graph | n | max delay | composed rounds | bound (delay + T_luby + slack) |")
+	fmt.Println("|---|---|---|---|---|")
+	n := sizes([]int{1024}, []int{4096})[0]
+	g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+	if err != nil {
+		return err
+	}
+	plain, err := local.Run(g, luby.New(), local.Options{Seed: *flagSeed})
+	if err != nil {
+		return err
+	}
+	maxDelay := 16
+	delayed := local.WithWakeup(luby.New(), func(id int64) int { return int(id % 17) })
+	res, err := local.Run(g, delayed, local.Options{Seed: *flagSeed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, maxDelay, res.Rounds, maxDelay+plain.Rounds+4)
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command localtrace renders the Figure 1 view of the paper: the cascade
+// of an alternating algorithm. It runs a uniform transformed algorithm,
+// groups node terminations by round (each distinct termination round is the
+// announce round of one pruning phase), and prints how the surviving
+// configuration (G_i, x_i) shrinks from iteration to iteration.
+//
+// Usage:
+//
+//	localtrace [-algo lasvegas-mis|uniform-mis|uniform-matching] [-n N] [-deg D] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/unilocal/unilocal/internal/engines"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+var (
+	flagAlgo = flag.String("algo", "lasvegas-mis", "algorithm: lasvegas-mis, uniform-mis, uniform-matching")
+	flagN    = flag.Int("n", 2048, "number of nodes")
+	flagDeg  = flag.Float64("deg", 8, "average degree of the G(n,p) instance")
+	flagSeed = flag.Int64("seed", 1, "simulation seed")
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "localtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	var algo local.Algorithm
+	switch *flagAlgo {
+	case "lasvegas-mis":
+		algo = engines.LasVegasMIS()
+	case "uniform-mis":
+		algo = engines.UniformMISDelta()
+	case "uniform-matching":
+		algo = engines.UniformMatching()
+	default:
+		return fmt.Errorf("unknown algorithm %q", *flagAlgo)
+	}
+	g, err := graph.GNP(*flagN, *flagDeg/float64(*flagN-1), *flagSeed)
+	if err != nil {
+		return err
+	}
+	res, err := local.Run(g, algo, local.Options{Seed: *flagSeed})
+	if err != nil {
+		return err
+	}
+
+	// Group terminations by round: each group is one pruning phase W_s of
+	// the alternating schedule (Figure 1 of the paper).
+	byRound := map[int]int{}
+	for _, h := range res.HaltRounds {
+		byRound[h]++
+	}
+	rounds := make([]int, 0, len(byRound))
+	for r := range byRound {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+
+	fmt.Printf("alternating cascade of %s on G(n=%d, avg deg %.1f), seed %d\n",
+		algo.Name(), *flagN, *flagDeg, *flagSeed)
+	fmt.Printf("total running time: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+	fmt.Println("iteration | announce round | pruned |V(G_i)| remaining | cascade")
+	surviving := g.N()
+	for i, r := range rounds {
+		pruned := byRound[r]
+		surviving -= pruned
+		bar := strings.Repeat("#", scale(surviving+pruned, g.N(), 60))
+		fmt.Printf("%9d | %14d | %6d | %9d | %s\n", i+1, r, pruned, surviving, bar)
+	}
+	return nil
+}
+
+// scale maps v in [0,max] to a bar width in [0,width].
+func scale(v, max, width int) int {
+	if max == 0 {
+		return 0
+	}
+	return v * width / max
+}

@@ -1,0 +1,21 @@
+// Package unilocal is a Go reproduction of Amos Korman, Jean-Sébastien
+// Sereni and Laurent Viennot, "Toward more localized local algorithms:
+// removing assumptions concerning global knowledge" (PODC 2011; Distributed
+// Computing 26(5-6), 2013).
+//
+// The repository implements the LOCAL model of distributed computing, the
+// paper's pruning-algorithm framework, the transformers of Theorems 1-5
+// (non-uniform to uniform, Monte Carlo to Las Vegas, weakly dominated
+// parameters, fastest-of-k, and the strong-list-coloring construction), the
+// Section 5.1 clique-product coloring, and the concrete algorithm stacks
+// behind every row of the paper's Table 1 — Linial's color reduction,
+// batched color reductions, MIS via color classes, Luby's MIS, H-partition
+// MIS for bounded arboricity, sequential greedy MIS, line-graph matching
+// and edge coloring, and ruling sets.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for measured reproductions of Table 1 and Figure 1, and
+// the examples/ directory for runnable entry points. The implementation
+// lives under internal/; the benchmark harness (bench_test.go, cmd/) is the
+// top-level interface for regenerating the paper's evaluation.
+package unilocal

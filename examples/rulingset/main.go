@@ -1,0 +1,66 @@
+// Cluster-head election in a network of unknown size (Las Vegas, Theorem 2).
+//
+// An ad-hoc deployment elects cluster heads: heads must not be adjacent,
+// and every node must be within β hops of a head — a (2, β)-ruling set.
+// The natural randomized algorithm (Luby's MIS on the β-th power graph)
+// needs the network size to pick its round budget; the paper's Theorem 2
+// removes the assumption, converting the weak Monte Carlo algorithm into a
+// uniform Las Vegas one whose output is ALWAYS correct and whose expected
+// running time matches the budgeted baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/unilocal/unilocal/internal/engines"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rulingset:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const beta = 2
+	// The deployment grows in waves; nobody updated the configured size.
+	g, err := graph.GNP(1500, 7.0/1499.0, 11)
+	if err != nil {
+		return err
+	}
+
+	lv := engines.LasVegasRulingSet(beta)
+	fmt.Printf("uniform Las Vegas (2,%d)-ruling set on %d nodes (size unknown to nodes)\n\n", beta, g.N())
+	fmt.Println("seed | rounds | heads | validity")
+	total := 0
+	const seeds = 8
+	for seed := int64(0); seed < seeds; seed++ {
+		res, err := local.Run(g, lv, local.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		in, err := problems.Bools(res.Outputs)
+		if err != nil {
+			return err
+		}
+		if err := problems.ValidRulingSet(g, in, 2, beta); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		heads := 0
+		for _, b := range in {
+			if b {
+				heads++
+			}
+		}
+		total += res.Rounds
+		fmt.Printf("%4d | %6d | %5d | ok (every node ≤ %d hops from a head)\n", seed, res.Rounds, heads, beta)
+	}
+	fmt.Printf("\naverage running time over %d runs: %.1f rounds — the Las Vegas distribution\n", seeds, float64(total)/seeds)
+	fmt.Println("(correctness held on every run: Theorem 2 trades the Monte Carlo failure risk for run-time variance)")
+	return nil
+}

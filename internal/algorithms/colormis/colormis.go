@@ -1,0 +1,49 @@
+// Package colormis provides the non-uniform deterministic MIS algorithm of
+// the "Det. MIS and (Δ+1)-coloring, O(Δ + log* n)" row of Table 1: color
+// with Δ̃+1 colors (Linial + halving reduction), then let the color classes
+// join the independent set greedily. Total time O(Δ̃ log Δ̃ + log* m̃) with
+// the guesses Γ = {Δ, m}.
+//
+// The additive envelope BoundDelta/BoundM feeds the paper's Theorem 1
+// transformer: by Observation 4.1 an additive bound has sequence number 1,
+// so the resulting uniform MIS algorithm runs in O(f*) rounds.
+package colormis
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/algorithms/coloralgo"
+	"github.com/unilocal/unilocal/internal/algorithms/linial"
+	"github.com/unilocal/unilocal/internal/algorithms/reduce"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// New returns the composed MIS algorithm for guesses Δ̃ and m̃. Output: bool
+// (membership in the independent set).
+func New(deltaHat int, mHat int64) local.Algorithm {
+	k := coloralgo.StartPalette(deltaHat, mHat)
+	return local.Compose(
+		fmt.Sprintf("colormis(Δ̃=%d)", deltaHat),
+		local.Stage{Algo: linial.New(deltaHat, mHat)},
+		local.Stage{Algo: reduce.ToDeltaPlusOne(k, deltaHat)},
+		local.Stage{Algo: reduce.MISByColor(deltaHat + 1)},
+	)
+}
+
+// Rounds bounds the running time of New for the given guesses.
+func Rounds(deltaHat int, mHat int64) int {
+	return coloralgo.DeltaPlusOneRounds(deltaHat, mHat) +
+		reduce.MISByColorRounds(deltaHat+1) + 2
+}
+
+// BoundDelta is the ascending Δ̃-term of the additive envelope.
+func BoundDelta(d int) int {
+	if d < 0 {
+		d = 0
+	}
+	return mathutil.SatAdd(coloralgo.BoundDelta(d), d+8)
+}
+
+// BoundM is the ascending m̃-term of the additive envelope.
+func BoundM(m int) int { return coloralgo.BoundM(m) }

@@ -1,0 +1,118 @@
+// Package edgecolor provides the non-uniform edge-coloring algorithms of
+// Table 1's edge-coloring rows, realised — as the paper notes for
+// Barenboim–Elkin [7] — by running vertex-coloring algorithms on the line
+// graph:
+//
+//   - New: a (2Δ̃−1)-edge-coloring in O(Δ̃ log Δ̃ + log* m̃) rounds
+//     (Panconesi–Rizzi regime): the line graph has maximum degree at most
+//     2Δ̃−2, so its (Δ_L+1)-coloring uses 2Δ̃−1 colors.
+//
+//   - Lambda: the trade-off variant with λ(2Δ̃−1) colors in
+//     O(Δ̃²/λ + log* m̃) rounds (Barenboim–Elkin regime; see DESIGN.md §4).
+//
+// The host output at each node is a []int of colors, one per port, agreed
+// with the neighbour on the shared edge.
+package edgecolor
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/algorithms/coloralgo"
+	"github.com/unilocal/unilocal/internal/algorithms/lift"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// lineParams derives line-graph guesses from host guesses.
+func lineParams(deltaHat int, mHat int64) (int, int64) {
+	if deltaHat < 1 {
+		deltaHat = 1
+	}
+	if mHat < 1 {
+		mHat = 1
+	}
+	if mHat > graph.MaxID {
+		mHat = graph.MaxID
+	}
+	dL := 2*deltaHat - 2
+	if dL < 0 {
+		dL = 0
+	}
+	return dL, graph.PackIDs(mHat, mHat)
+}
+
+// Palette returns the number of colors used by New: 2Δ̃−1.
+func Palette(deltaHat int) int {
+	dL, _ := lineParams(deltaHat, 1)
+	return dL + 1
+}
+
+// New returns the (2Δ̃−1)-edge-coloring algorithm for guesses Δ̃, m̃.
+func New(deltaHat int, mHat int64) local.Algorithm {
+	dL, mL := lineParams(deltaHat, mHat)
+	return wrap(fmt.Sprintf("edgecolor(Δ̃=%d)", deltaHat),
+		lift.LineGraph(coloralgo.DeltaPlusOne(dL, mL), nil))
+}
+
+// LambdaPalette returns the number of colors used by Lambda: λ(2Δ̃−1).
+func LambdaPalette(lambda, deltaHat int) int {
+	dL, _ := lineParams(deltaHat, 1)
+	return coloralgo.LambdaPalette(lambda, dL)
+}
+
+// Lambda returns the trade-off edge coloring with λ(2Δ̃−1) colors.
+func Lambda(lambda, deltaHat int, mHat int64) local.Algorithm {
+	dL, mL := lineParams(deltaHat, mHat)
+	return wrap(fmt.Sprintf("edgecolor-λ(λ=%d,Δ̃=%d)", lambda, deltaHat),
+		lift.LineGraph(coloralgo.Lambda(lambda, dL, mL), nil))
+}
+
+// BoundDelta is the ascending Δ̃-term of the additive envelope of New.
+func BoundDelta(d int) int {
+	dL, _ := lineParams(d, 1)
+	return mathutil.SatAdd(mathutil.SatMul(2, coloralgo.BoundDelta(dL)), 8)
+}
+
+// BoundM is the ascending m̃-term (packed identities: constant log* term).
+func BoundM(m int) int {
+	if m < 1 {
+		m = 1
+	}
+	return mathutil.LogStar(m) + 2*(5+16) + 8
+}
+
+// wrap converts the lift's per-port []any output into a []int of colors.
+func wrap(name string, inner local.Algorithm) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: name,
+		NewNode: func(info local.Info) local.Node {
+			return &node{deg: info.Degree, inner: inner.New(info)}
+		},
+	}
+}
+
+type node struct {
+	deg    int
+	inner  local.Node
+	colors []int
+}
+
+func (n *node) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	send, done := n.inner.Round(r, recv)
+	if done {
+		n.colors = make([]int, n.deg)
+		if outs, ok := n.inner.Output().([]any); ok {
+			for p, o := range outs {
+				if c, okC := o.(int); okC {
+					n.colors[p] = c
+				}
+			}
+		}
+	}
+	return send, done
+}
+
+func (n *node) Output() any { return n.colors }
+
+var _ local.Node = (*node)(nil)

@@ -1,0 +1,102 @@
+package edgecolor
+
+import (
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+// collect converts per-port outputs into canonical edge colors.
+func collect(t *testing.T, g *graph.Graph, outputs []any) []int {
+	t.Helper()
+	edges := g.Edges()
+	colors := make([]int, len(edges))
+	for i, e := range edges {
+		outs, ok := outputs[e.U].([]int)
+		if !ok {
+			t.Fatalf("node %d output %T", e.U, outputs[e.U])
+		}
+		for p := 0; p < g.Degree(int(e.U)); p++ {
+			if g.Neighbor(int(e.U), p) == int(e.V) {
+				colors[i] = outs[p]
+				break
+			}
+		}
+		// Endpoint agreement.
+		outsV := outputs[e.V].([]int)
+		for p := 0; p < g.Degree(int(e.V)); p++ {
+			if g.Neighbor(int(e.V), p) == int(e.U) {
+				if outsV[p] != colors[i] {
+					t.Fatalf("edge %v: endpoints disagree (%d vs %d)", e, colors[i], outsV[p])
+				}
+			}
+		}
+	}
+	return colors
+}
+
+func TestEdgeColoringOnSuites(t *testing.T) {
+	cyc, _ := graph.Cycle(17)
+	gnp, err := graph.GNP(80, 0.06, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"path":   graph.Path(20),
+		"cycle":  cyc,
+		"star":   graph.Star(15),
+		"clique": graph.Complete(9),
+		"grid":   graph.Grid(6, 7),
+		"gnp":    gnp,
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			d, m := g.MaxDegree(), g.MaxIDValue()
+			res, err := local.Run(g, New(d, m), local.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			colors := collect(t, g, res.Outputs)
+			if err := problems.ValidEdgeColoring(g, colors, Palette(d)); err != nil {
+				t.Fatal(err)
+			}
+			if env := BoundDelta(d) + BoundM(int(m)); res.Rounds > env {
+				t.Errorf("rounds %d exceed envelope %d", res.Rounds, env)
+			}
+		})
+	}
+}
+
+func TestEdgeColoringLambdaTradeoff(t *testing.T) {
+	g, err := graph.RandomRegular(80, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, m := g.MaxDegree(), g.MaxIDValue()
+	prev := 1 << 30
+	for _, lambda := range []int{1, 3, 9} {
+		res, err := local.Run(g, Lambda(lambda, d, m), local.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := collect(t, g, res.Outputs)
+		if err := problems.ValidEdgeColoring(g, colors, LambdaPalette(lambda, d)); err != nil {
+			t.Fatalf("λ=%d: %v", lambda, err)
+		}
+		if res.Rounds > prev+4 {
+			t.Errorf("λ=%d slower than smaller λ: %d after %d", lambda, res.Rounds, prev)
+		}
+		prev = res.Rounds
+	}
+}
+
+func TestPalettes(t *testing.T) {
+	if Palette(4) != 7 {
+		t.Errorf("Palette(4) = %d, want 2Δ-1 = 7", Palette(4))
+	}
+	if LambdaPalette(2, 4) != 2*7 {
+		t.Errorf("LambdaPalette(2,4) = %d, want 14", LambdaPalette(2, 4))
+	}
+}

@@ -1,0 +1,238 @@
+package lift
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// Power returns an algorithm that simulates algo on the k-th power G^k of
+// the host graph: every node simulates itself with the nodes at distance at
+// most k as virtual neighbours. One virtual round costs k host rounds
+// (flooding with hop budget k); setup costs k rounds to discover the ball.
+//
+// Host inputs, identities, randomness and outputs pass through unchanged.
+func Power(k int, algo local.Algorithm) local.Algorithm {
+	if k < 1 {
+		k = 1
+	}
+	return local.AlgorithmFunc{
+		AlgoName: fmt.Sprintf("power%d(%s)", k, algo.Name()),
+		NewNode: func(info local.Info) local.Node {
+			return &powerNode{info: info, k: k, algo: algo}
+		},
+	}
+}
+
+// powerFlood floods records through the k-hop neighbourhood. Each record is
+// flooded once per virtual round; hops counts remaining forwards.
+type powerFlood struct {
+	records []powerRecord
+}
+
+// powerRecord is one node's contribution to the current flood wave.
+type powerRecord struct {
+	src  int64
+	hops int // remaining hop budget
+	// payload maps destination identity to message; absent keys mean no
+	// message for that destination.
+	payload map[int64]local.Message
+	done    bool
+}
+
+type powerNode struct {
+	info local.Info
+	k    int
+	algo local.Algorithm
+
+	ball    []int64 // identities within distance k, sorted (virtual ports)
+	sim     local.Node
+	t       int // virtual round counter
+	simDone bool
+	out     any
+
+	// seenWave tracks which sources' records were already forwarded in the
+	// current virtual round; inbox accumulates deliveries for the next
+	// virtual round; doneNbrs tracks terminated ball members.
+	seenWave map[int64]bool
+	inbox    map[int64]local.Message
+	doneNbrs map[int64]bool
+}
+
+func (n *powerNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if r < n.k {
+		return n.discover(r, recv), false
+	}
+	if r == n.k {
+		n.finishDiscovery(recv)
+	}
+	phase := (r - n.k) % n.k
+	if phase == 0 {
+		if r > n.k {
+			n.harvest(recv)
+		}
+		send := n.stepAndFlood()
+		// With k = 1 there are no forwarding phases; a node may stop once it
+		// and its whole ball have terminated (its own done flag was flooded
+		// the moment it terminated).
+		done := n.k == 1 && n.simDone && n.allNeighborsDone()
+		return send, done
+	}
+	send := n.forward(recv)
+	if phase == n.k-1 && n.simDone && n.allNeighborsDone() {
+		// Termination is only safe on a phase boundary, after this node's
+		// final flood has fully propagated through the ball.
+		return send, true
+	}
+	return send, false
+}
+
+// discover floods identity lists for k rounds to learn the ball.
+func (n *powerNode) discover(r int, recv []local.Message) []local.Message {
+	if r == 0 {
+		n.seenWave = map[int64]bool{n.info.ID: true}
+		return local.Broadcast([]int64{n.info.ID}, n.info.Degree)
+	}
+	var fresh []int64
+	for _, m := range recv {
+		ids, ok := m.([]int64)
+		if !ok {
+			continue
+		}
+		for _, id := range ids {
+			if !n.seenWave[id] {
+				n.seenWave[id] = true
+				fresh = append(fresh, id)
+			}
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	return local.Broadcast(fresh, n.info.Degree)
+}
+
+// finishDiscovery ingests the final discovery wave and instantiates the
+// simulated node on the ball.
+func (n *powerNode) finishDiscovery(recv []local.Message) {
+	for _, m := range recv {
+		if ids, ok := m.([]int64); ok {
+			for _, id := range ids {
+				n.seenWave[id] = true
+			}
+		}
+	}
+	for id := range n.seenWave {
+		if id != n.info.ID {
+			n.ball = append(n.ball, id)
+		}
+	}
+	sortIDs(n.ball)
+	info := local.Info{
+		ID:        n.info.ID,
+		Degree:    len(n.ball),
+		Neighbors: append([]int64(nil), n.ball...),
+		Input:     n.info.Input,
+		Rand:      n.info.Rand,
+	}
+	n.sim = n.algo.New(info)
+	n.inbox = make(map[int64]local.Message)
+	n.doneNbrs = make(map[int64]bool)
+}
+
+// stepAndFlood runs one virtual round and starts this node's flood wave.
+func (n *powerNode) stepAndFlood() []local.Message {
+	n.seenWave = map[int64]bool{n.info.ID: true}
+	var rec powerRecord
+	if !n.simDone {
+		inbox := make([]local.Message, len(n.ball))
+		for q, id := range n.ball {
+			inbox[q] = n.inbox[id]
+		}
+		clear(n.inbox)
+		send, done := n.sim.Round(n.t, inbox)
+		n.t++
+		rec = powerRecord{src: n.info.ID, hops: n.k - 1}
+		if len(send) > 0 {
+			rec.payload = make(map[int64]local.Message, len(send))
+			for q, msg := range send {
+				if msg != nil {
+					rec.payload[n.ball[q]] = msg
+				}
+			}
+		}
+		if done {
+			n.simDone = true
+			n.out = n.sim.Output()
+			rec.done = true
+		}
+	} else {
+		rec = powerRecord{src: n.info.ID, hops: n.k - 1, done: true}
+	}
+	return local.Broadcast(powerFlood{records: []powerRecord{rec}}, n.info.Degree)
+}
+
+// forward relays unseen records with decremented hop budgets and extracts
+// deliveries addressed to this node.
+func (n *powerNode) forward(recv []local.Message) []local.Message {
+	var relay []powerRecord
+	for _, m := range recv {
+		f, ok := m.(powerFlood)
+		if !ok {
+			continue
+		}
+		for _, rec := range f.records {
+			n.extract(rec)
+			if !n.seenWave[rec.src] {
+				n.seenWave[rec.src] = true
+				if rec.hops > 0 {
+					fwd := rec
+					fwd.hops--
+					relay = append(relay, fwd)
+				}
+			}
+		}
+	}
+	if len(relay) == 0 {
+		return nil
+	}
+	return local.Broadcast(powerFlood{records: relay}, n.info.Degree)
+}
+
+// harvest ingests the final wave of the previous virtual round.
+func (n *powerNode) harvest(recv []local.Message) {
+	for _, m := range recv {
+		if f, ok := m.(powerFlood); ok {
+			for _, rec := range f.records {
+				n.extract(rec)
+			}
+		}
+	}
+}
+
+// extract records deliveries and done flags addressed to this node.
+func (n *powerNode) extract(rec powerRecord) {
+	if rec.src == n.info.ID {
+		return
+	}
+	if rec.done {
+		n.doneNbrs[rec.src] = true
+	}
+	if msg, ok := rec.payload[n.info.ID]; ok && msg != nil {
+		n.inbox[rec.src] = msg
+	}
+}
+
+// allNeighborsDone reports whether every ball member has terminated.
+func (n *powerNode) allNeighborsDone() bool {
+	for _, id := range n.ball {
+		if !n.doneNbrs[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *powerNode) Output() any { return n.out }
+
+var _ local.Node = (*powerNode)(nil)

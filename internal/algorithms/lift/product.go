@@ -1,0 +1,230 @@
+package lift
+
+import (
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// Product returns an algorithm that simulates algo on the clique product
+// G × K_{deg+1} of Section 5.1 of the paper: every host node simulates
+// deg+1 copies of itself; copies of one node form a clique, and copy i of u
+// is adjacent to copy i of each neighbour v with i <= 1 + min(deg u,
+// deg v). One virtual round costs one host round; setup costs one round to
+// exchange degrees.
+//
+// Copy i of host u carries identity graph.PackIDs(Id(u), i), matching
+// graph.ProductDegPlusOne. The host output is a []any with the outputs of
+// copies 1..deg+1 in order.
+func Product(algo local.Algorithm) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: "product(" + algo.Name() + ")",
+		NewNode: func(info local.Info) local.Node {
+			return &productNode{info: info, algo: algo, hostSeed: int64(info.Rand.Uint64())}
+		},
+	}
+}
+
+// productBundle carries, for one host edge (u, v), the messages of all
+// copies u_i to their counterparts v_i, plus termination flags.
+type productBundle struct {
+	// byCopy[i-1] is the message from copy i of the sender to copy i of the
+	// receiver (nil = silence).
+	byCopy []local.Message
+	// doneAll reports that every copy of the sender has terminated.
+	doneAll bool
+}
+
+// productVirtual is one simulated copy.
+type productVirtual struct {
+	copyIdx int // 1-based copy index
+	node    local.Node
+	nbrs    []int64 // virtual neighbour identities, sorted
+	inbox   []local.Message
+	t       int
+	done    bool
+	out     any
+}
+
+type productNode struct {
+	info     local.Info
+	algo     local.Algorithm
+	hostSeed int64
+
+	copies   []*productVirtual
+	crossLim []int // crossLim[p] = 1+min(deg, deg of neighbour p)
+	nbrDone  []bool
+}
+
+func (n *productNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if r == 0 {
+		return local.Broadcast(n.info.Degree, n.info.Degree), false
+	}
+	if r == 1 {
+		n.setup(recv)
+	} else {
+		n.ingest(recv)
+	}
+	return n.stepAll()
+}
+
+// setup exchanges degrees and instantiates the copies.
+func (n *productNode) setup(recv []local.Message) {
+	deg := n.info.Degree
+	n.crossLim = make([]int, deg)
+	n.nbrDone = make([]bool, deg)
+	for p := 0; p < deg; p++ {
+		nbDeg, _ := recv[p].(int)
+		n.crossLim[p] = min(deg, nbDeg) + 1
+	}
+	n.copies = make([]*productVirtual, deg+1)
+	for i := 1; i <= deg+1; i++ {
+		v := &productVirtual{copyIdx: i}
+		// Clique siblings.
+		for j := 1; j <= deg+1; j++ {
+			if j != i {
+				v.nbrs = append(v.nbrs, graph.PackIDs(n.info.ID, int64(j)))
+			}
+		}
+		// Cross neighbours.
+		for p := 0; p < deg; p++ {
+			if i <= n.crossLim[p] {
+				v.nbrs = append(v.nbrs, graph.PackIDs(n.info.Neighbors[p], int64(i)))
+			}
+		}
+		sortIDs(v.nbrs)
+		vid := graph.PackIDs(n.info.ID, int64(i))
+		info := local.Info{
+			ID:        vid,
+			Degree:    len(v.nbrs),
+			Neighbors: append([]int64(nil), v.nbrs...),
+			Input:     n.info.Input,
+			Rand:      childRand(n.hostSeed, vid),
+		}
+		v.node = n.algo.New(info)
+		v.inbox = make([]local.Message, len(v.nbrs))
+		n.copies[i-1] = v
+	}
+}
+
+// ingest distributes received cross messages into copy inboxes.
+func (n *productNode) ingest(recv []local.Message) {
+	for p, m := range recv {
+		b, ok := m.(productBundle)
+		if !ok {
+			continue
+		}
+		if b.doneAll {
+			n.nbrDone[p] = true
+		}
+		for idx, msg := range b.byCopy {
+			i := idx + 1
+			if msg == nil || i > len(n.copies) {
+				continue
+			}
+			v := n.copies[i-1]
+			if v.done {
+				continue
+			}
+			src := graph.PackIDs(n.info.Neighbors[p], int64(i))
+			if q := portOf(v.nbrs, src); q >= 0 {
+				v.inbox[q] = msg
+			}
+		}
+	}
+}
+
+// stepAll advances every live copy one virtual round, delivering clique
+// messages locally (with the mandatory one-round delay) and bundling cross
+// messages per host edge.
+func (n *productNode) stepAll() ([]local.Message, bool) {
+	deg := n.info.Degree
+	cross := make([][]local.Message, deg) // cross[p][i-1]
+	for p := 0; p < deg; p++ {
+		cross[p] = make([]local.Message, deg+1)
+	}
+	// Collect clique deliveries for the NEXT round before overwriting
+	// inboxes: snapshot sends first.
+	type sendRec struct {
+		v    *productVirtual
+		send []local.Message
+	}
+	sends := make([]sendRec, 0, len(n.copies))
+	for _, v := range n.copies {
+		if v.done {
+			continue
+		}
+		inbox := v.inbox
+		v.inbox = make([]local.Message, len(v.nbrs))
+		send, done := v.node.Round(v.t, inbox)
+		v.t++
+		if done {
+			v.done = true
+			v.out = v.node.Output()
+		}
+		sends = append(sends, sendRec{v: v, send: send})
+	}
+	for _, sr := range sends {
+		for q, msg := range sr.send {
+			if msg == nil {
+				continue
+			}
+			dst := sr.v.nbrs[q]
+			a, b := graph.UnpackIDs(dst)
+			if a == n.info.ID {
+				// Clique sibling: local delivery into next-round inbox.
+				sibling := n.copies[int(b)-1]
+				if !sibling.done {
+					src := graph.PackIDs(n.info.ID, int64(sr.v.copyIdx))
+					if q2 := portOf(sibling.nbrs, src); q2 >= 0 {
+						sibling.inbox[q2] = msg
+					}
+				}
+				continue
+			}
+			if p := n.info.NeighborPort(a); p >= 0 {
+				cross[p][sr.v.copyIdx-1] = msg
+			}
+		}
+	}
+	allDone := true
+	for _, v := range n.copies {
+		if !v.done {
+			allDone = false
+			break
+		}
+	}
+	send := make([]local.Message, deg)
+	for p := 0; p < deg; p++ {
+		bundle := productBundle{byCopy: cross[p], doneAll: allDone}
+		send[p] = bundle
+	}
+	if allDone && n.allNbrsDone() {
+		return send, true
+	}
+	if allDone {
+		// Keep pulsing the done flag until the neighbourhood has finished,
+		// so late neighbours still learn it.
+		return send, false
+	}
+	return send, false
+}
+
+func (n *productNode) allNbrsDone() bool {
+	for _, d := range n.nbrDone {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Output returns the outputs of copies 1..deg+1.
+func (n *productNode) Output() any {
+	outs := make([]any, len(n.copies))
+	for i, v := range n.copies {
+		outs[i] = v.out
+	}
+	return outs
+}
+
+var _ local.Node = (*productNode)(nil)

@@ -1,0 +1,95 @@
+// Package matching provides the non-uniform maximal matching algorithm of
+// Table 1's "Det. Maximal Matching" row: a maximal matching of G is a
+// maximal independent set of the line graph L(G), computed here by running
+// the colormis stack through the line-graph lift. The guesses are Δ̃ and m̃
+// for the host graph; the line graph's parameters are derived from them
+// (Δ_L <= 2Δ̃−2, identities packed below (m̃+1)·2³¹).
+//
+// The paper's row cites Hańćkowiak–Karoński–Panconesi's O(log⁴ n)
+// algorithm; this engine replaces it with an O(Δ̃ log Δ̃ + log* m̃) one with
+// the same transformer contract (see DESIGN.md §4). Combined with the P_MM
+// pruner of Observation 3.3 and Theorem 1, it yields the uniform maximal
+// matching of Corollary 1(vi).
+package matching
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/algorithms/colormis"
+	"github.com/unilocal/unilocal/internal/algorithms/lift"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/mathutil"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+// lineParams derives the line-graph guesses from the host guesses.
+func lineParams(deltaHat int, mHat int64) (int, int64) {
+	if deltaHat < 1 {
+		deltaHat = 1
+	}
+	if mHat < 1 {
+		mHat = 1
+	}
+	if mHat > graph.MaxID {
+		mHat = graph.MaxID
+	}
+	dL := 2 * deltaHat
+	mL := graph.PackIDs(mHat, mHat)
+	return dL, mL
+}
+
+// New returns the matching algorithm for guesses Δ̃ and m̃. The output at
+// each node is a problems.EdgeClaim (zero = unmatched).
+func New(deltaHat int, mHat int64) local.Algorithm {
+	dL, mL := lineParams(deltaHat, mHat)
+	inner := lift.LineGraph(colormis.New(dL, mL), nil)
+	return local.AlgorithmFunc{
+		AlgoName: fmt.Sprintf("matching(Δ̃=%d)", deltaHat),
+		NewNode: func(info local.Info) local.Node {
+			return &node{info: info, inner: inner.New(info)}
+		},
+	}
+}
+
+// BoundDelta is the ascending Δ̃-term of the additive envelope (the lift
+// doubles every inner round).
+func BoundDelta(d int) int {
+	dL, _ := lineParams(d, 1)
+	return mathutil.SatAdd(mathutil.SatMul(2, colormis.BoundDelta(dL)), 8)
+}
+
+// BoundM is the ascending m̃-term of the additive envelope. Packed
+// line-graph identities stay below 2^62, so their log* contribution is a
+// constant (log*(2^62) = 5) absorbed into the offset.
+func BoundM(m int) int {
+	if m < 1 {
+		m = 1
+	}
+	return mathutil.LogStar(m) + 2*(5+16) + 8
+}
+
+type node struct {
+	info  local.Info
+	inner local.Node
+	claim problems.EdgeClaim
+}
+
+func (n *node) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	send, done := n.inner.Round(r, recv)
+	if done {
+		if outs, ok := n.inner.Output().([]any); ok {
+			for p, o := range outs {
+				if in, okB := o.(bool); okB && in {
+					n.claim = problems.NewEdgeClaim(n.info.ID, n.info.Neighbors[p])
+					break
+				}
+			}
+		}
+	}
+	return send, done
+}
+
+func (n *node) Output() any { return n.claim }
+
+var _ local.Node = (*node)(nil)

@@ -1,0 +1,94 @@
+// Package seqmis implements the sequential-greedy-by-identity MIS: an
+// undecided node joins the set as soon as its identity is smaller than the
+// identities of all undecided neighbours; neighbours of members retire. The
+// result equals the sequential greedy MIS over the identity order, and the
+// running time is bounded by the length of the longest decreasing identity
+// path — at most min(n, m) and typically far smaller on random identities.
+//
+// Its role in the reproduction (see DESIGN.md §4) is the "time depends only
+// on a guess of the global size" engine of Table 1 — the slot held in the
+// paper by Panconesi–Srinivasan's 2^O(√log n) network-decomposition MIS,
+// whose full machinery is out of scope. Truncated provides the non-uniform
+// black box f(m̃) = 2m̃+4 consumed by Theorem 1 and the Theorem 4 min{}
+// combination; New is the uniform (but slow in the worst case) variant used
+// directly by Theorem 4.
+package seqmis
+
+import (
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// New returns the uniform greedy MIS algorithm. Output: bool.
+func New() local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: "seqmis",
+		NewNode:  func(info local.Info) local.Node { return &node{info: info} },
+	}
+}
+
+// Truncated returns the greedy MIS restricted to Rounds(m̃) rounds: a
+// non-uniform algorithm requiring the guess m̃ >= m (maximum identity) for
+// correctness.
+func Truncated(mHat int) local.Algorithm {
+	return local.RestrictRounds(New(), Rounds(mHat))
+}
+
+// Rounds bounds the running time of the greedy MIS by the identity guess:
+// every decision chain strictly decreases identities, and one link resolves
+// every two rounds.
+func Rounds(mHat int) int {
+	if mHat < 1 {
+		mHat = 1
+	}
+	return 2*mHat + 4
+}
+
+type msgKind byte
+
+const (
+	kindJoin msgKind = iota + 1
+	kindLeave
+)
+
+type msg struct {
+	kind msgKind
+	id   int64
+}
+
+type node struct {
+	info    local.Info
+	in      bool
+	retired map[int64]bool
+}
+
+func (n *node) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if n.retired == nil {
+		n.retired = make(map[int64]bool, n.info.Degree)
+	}
+	for _, m := range recv {
+		sm, ok := m.(msg)
+		if !ok {
+			continue
+		}
+		switch sm.kind {
+		case kindJoin:
+			// A neighbour joined: retire.
+			return local.Broadcast(msg{kind: kindLeave, id: n.info.ID}, n.info.Degree), true
+		case kindLeave:
+			n.retired[sm.id] = true
+		}
+	}
+	// Join when minimal among the undecided neighbourhood; blockers only
+	// ever disappear, so acting on the current view is safe.
+	for _, nb := range n.info.Neighbors {
+		if !n.retired[nb] && nb < n.info.ID {
+			return nil, false
+		}
+	}
+	n.in = true
+	return local.Broadcast(msg{kind: kindJoin, id: n.info.ID}, n.info.Degree), true
+}
+
+func (n *node) Output() any { return n.in }
+
+var _ local.Node = (*node)(nil)

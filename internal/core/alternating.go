@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// Step is one link of an alternating algorithm's chain: run Algo restricted
+// to Budget rounds on the surviving subgraph, then prune.
+type Step struct {
+	Algo   local.Algorithm
+	Budget int
+}
+
+// Plan enumerates the steps of an alternating algorithm. Implementations
+// must be pure functions of k (they are invoked concurrently by every node,
+// and every node must derive the identical schedule). Returning ok = false
+// means the plan is exhausted; a correct transformer plan is infinite in
+// principle and exhausts only on arithmetic saturation.
+type Plan interface {
+	Step(k int) (step Step, ok bool)
+}
+
+// NewAlternating returns the alternating algorithm π((A_k)_k, P) of Section
+// 3.3 as a single uniform LOCAL algorithm (Figure 1 of the paper). Each
+// node repeats:
+//
+//	window k:   run plan.Step(k).Algo for exactly Budget rounds on the
+//	            subgraph induced by the surviving nodes (ports of pruned
+//	            neighbours are masked away);
+//	gather:     flood (identity, input, tentative output, active-neighbour
+//	            list) records for Radius rounds;
+//	announce:   evaluate the pruner on the gathered ball; pruned nodes
+//	            broadcast departure and terminate with their tentative
+//	            output; survivors broadcast survival;
+//	absorb:     survivors update their active-port sets and inputs and move
+//	            to window k+1.
+//
+// Because every window length is a pure function of k, all nodes stay in
+// lockstep without any synchronisation traffic, exactly as in Algorithm 1
+// and Algorithm 2 of the paper. By Observation 3.4, if the execution
+// terminates the combined output solves the pruner's problem.
+func NewAlternating(name string, plan Plan, pruner Pruner) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: name,
+		NewNode: func(info local.Info) local.Node {
+			n := &altNode{info: info, plan: plan, pruner: pruner, input: info.Input}
+			n.activePorts = make([]int, info.Degree)
+			for p := range n.activePorts {
+				n.activePorts[p] = p
+			}
+			return n
+		},
+	}
+}
+
+// gatherMsg floods ball records during the pruning phase.
+type gatherMsg struct {
+	records []*BallNode
+}
+
+// announceMsg reports whether the sender survives into the next window.
+type announceMsg struct {
+	surviving bool
+}
+
+type altNode struct {
+	info   local.Info
+	plan   Plan
+	pruner Pruner
+
+	k      int // current step index
+	step   Step
+	offset int // round offset within the current window
+	sub    *local.Subrun
+
+	activePorts []int // host ports of surviving neighbours
+	input       any   // current input x_k(v)
+	tentative   any
+	known       map[int64]*BallNode
+	decision    Decision
+	exhausted   bool
+}
+
+func (n *altNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if n.exhausted {
+		// Plan ran out of steps: idle (the engine's round cap will surface
+		// this as an error; it indicates a broken plan or bound).
+		return nil, false
+	}
+	if n.offset == 0 && !n.beginWindow() {
+		return nil, false
+	}
+	budget := n.step.Budget
+	radius := n.pruner.Radius()
+	var send []local.Message
+	switch {
+	case n.offset < budget: // run phase
+		send = n.stepInner(recv)
+	case n.offset < budget+radius: // gather phase
+		send = n.gather(n.offset-budget == 0, recv)
+	case n.offset == budget+radius: // announce phase
+		n.mergeRecords(recv)
+		n.decision = n.pruner.Decide(&Ball{CenterID: n.info.ID, Nodes: n.known})
+		n.known = nil
+		send = n.broadcastActive(announceMsg{surviving: !n.decision.Prune})
+		if n.decision.Prune {
+			return send, true
+		}
+	default: // absorb phase
+		n.absorb(recv)
+		n.k++
+		n.offset = 0
+		return nil, false
+	}
+	n.offset++
+	return send, false
+}
+
+// beginWindow fetches step k and instantiates the inner node on the current
+// induced neighbourhood. It reports false (and idles) if the plan is
+// exhausted.
+func (n *altNode) beginWindow() bool {
+	step, ok := n.plan.Step(n.k)
+	if !ok {
+		n.exhausted = true
+		return false
+	}
+	if step.Budget < 1 {
+		step.Budget = 1
+	}
+	n.step = step
+	ids := make([]int64, len(n.activePorts))
+	for i, p := range n.activePorts {
+		ids[i] = n.info.Neighbors[p]
+	}
+	info := local.Info{
+		ID:        n.info.ID,
+		Degree:    len(n.activePorts),
+		Neighbors: ids,
+		Input:     n.input,
+		Rand:      rand.New(rand.NewPCG(n.info.Rand.Uint64(), n.info.Rand.Uint64())),
+	}
+	n.sub = local.NewSubrun(step.Algo.New(info), n.activePorts)
+	return true
+}
+
+// stepInner advances the restricted inner execution by one round.
+func (n *altNode) stepInner(recv []local.Message) []local.Message {
+	send := n.sub.Step(recv, n.info.Degree)
+	if n.offset+1 == n.step.Budget {
+		// Budget expires after this round: record the tentative output
+		// (final if the inner node halted, arbitrary otherwise — the
+		// "restricted to i rounds" convention).
+		n.tentative = n.sub.Output()
+		n.sub = nil
+	}
+	return send
+}
+
+// gather floods ball records through the induced graph.
+func (n *altNode) gather(first bool, recv []local.Message) []local.Message {
+	if first {
+		ids := make([]int64, len(n.activePorts))
+		for i, p := range n.activePorts {
+			ids[i] = n.info.Neighbors[p]
+		}
+		n.known = map[int64]*BallNode{n.info.ID: {
+			ID:        n.info.ID,
+			Dist:      0,
+			Input:     n.input,
+			Tentative: n.tentative,
+			Neighbors: ids,
+		}}
+	} else {
+		n.mergeRecords(recv)
+	}
+	records := make([]*BallNode, 0, len(n.known))
+	for _, rec := range n.known {
+		records = append(records, rec)
+	}
+	return n.broadcastActive(gatherMsg{records: records})
+}
+
+// mergeRecords ingests flooded records, keeping minimal distances.
+func (n *altNode) mergeRecords(recv []local.Message) {
+	for _, p := range n.activePorts {
+		gm, ok := recv[p].(gatherMsg)
+		if !ok {
+			continue
+		}
+		for _, rec := range gm.records {
+			d := rec.Dist + 1
+			if have, seen := n.known[rec.ID]; !seen {
+				cp := &BallNode{ID: rec.ID, Dist: d, Input: rec.Input, Tentative: rec.Tentative, Neighbors: rec.Neighbors}
+				n.known[rec.ID] = cp
+			} else if d < have.Dist {
+				have.Dist = d
+			}
+		}
+	}
+}
+
+// absorb processes survival announcements and applies the input rewrite.
+func (n *altNode) absorb(recv []local.Message) {
+	next := n.activePorts[:0]
+	for _, p := range n.activePorts {
+		if am, ok := recv[p].(announceMsg); ok && am.surviving {
+			next = append(next, p)
+		}
+	}
+	n.activePorts = next
+	if n.decision.NewInput != nil {
+		n.input = n.decision.NewInput
+	}
+}
+
+// broadcastActive sends msg to the surviving neighbours only.
+func (n *altNode) broadcastActive(msg local.Message) []local.Message {
+	if len(n.activePorts) == 0 {
+		return nil
+	}
+	send := make([]local.Message, n.info.Degree)
+	for _, p := range n.activePorts {
+		send[p] = msg
+	}
+	return send
+}
+
+func (n *altNode) Output() any { return n.tentative }
+
+var _ local.Node = (*altNode)(nil)

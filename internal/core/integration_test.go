@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/algorithms/colormis"
+	"github.com/unilocal/unilocal/internal/algorithms/matching"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+// TestUniformMISUnderWakeupSkew composes the full Theorem 1 transformer
+// with the Section 2 wake-up machinery: the uniform algorithm must stay
+// correct when nodes wake up at different times (the α-synchronizer carries
+// the whole alternating schedule).
+func TestUniformMISUnderWakeupSkew(t *testing.T) {
+	nu, seq := misEngine()
+	uniform := Uniform(nu, seq, MISPruner())
+	skewed := local.WithWakeup(uniform, func(id int64) int { return int(id*13) % 23 })
+	g, err := graph.GNP(120, 0.05, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.Run(g, skewed, local.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problems.Bools(res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problems.ValidMIS(g, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spyCollector records the Info every inner instantiation observes, so the
+// test can check what the alternating wrapper presents to its engines.
+type spyCollector struct {
+	mu    sync.Mutex
+	infos []local.Info
+}
+
+func (c *spyCollector) record(info local.Info) {
+	c.mu.Lock()
+	c.infos = append(c.infos, info)
+	c.mu.Unlock()
+}
+
+// spyAlgorithm funnels all instantiations into one shared collector.
+type spyAlgorithm struct {
+	collector *spyCollector
+	inner     local.Algorithm
+}
+
+func (s *spyAlgorithm) Name() string { return "spy(" + s.inner.Name() + ")" }
+
+func (s *spyAlgorithm) New(info local.Info) local.Node {
+	s.collector.record(info)
+	return s.inner.New(info)
+}
+
+// TestAlternatingPresentsInducedSubgraphs verifies the heart of the
+// alternating wrapper: every inner incarnation sees only surviving
+// neighbours, and neighbourhoods shrink monotonically window by window.
+func TestAlternatingPresentsInducedSubgraphs(t *testing.T) {
+	g, err := graph.GNP(80, 0.06, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, seq := misEngine()
+	collector := &spyCollector{}
+	spied := NonUniformFunc{
+		AlgoName:  nu.Name(),
+		ParamList: nu.Params(),
+		Build: func(guesses []int) local.Algorithm {
+			return &spyAlgorithm{collector: collector, inner: nu.WithGuesses(guesses)}
+		},
+	}
+	uniform := Uniform(spied, seq, MISPruner())
+	res, err := local.Run(g, uniform, local.Options{Seed: 4, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problems.Bools(res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problems.ValidMIS(g, in); err != nil {
+		t.Fatal(err)
+	}
+	// Every info's neighbour list must be a subset of the node's true
+	// neighbourhood in g, with matching degree.
+	idIndex := make(map[int64]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		idIndex[g.ID(u)] = u
+	}
+	checked := 0
+	seen := make(map[int64]int) // id -> last seen induced degree
+	for _, info := range collector.infos {
+		u, ok := idIndex[info.ID]
+		if !ok {
+			t.Fatalf("inner saw unknown identity %d", info.ID)
+		}
+		if info.Degree != len(info.Neighbors) {
+			t.Fatalf("degree %d != |neighbours| %d", info.Degree, len(info.Neighbors))
+		}
+		for _, nb := range info.Neighbors {
+			v, okN := idIndex[nb]
+			if !okN || !g.HasEdge(u, v) {
+				t.Fatalf("inner neighbour %d of %d not a real edge", nb, info.ID)
+			}
+		}
+		if last, had := seen[info.ID]; had && info.Degree > last {
+			t.Fatalf("induced degree of %d grew from %d to %d", info.ID, last, info.Degree)
+		}
+		seen[info.ID] = info.Degree
+		checked++
+	}
+	if checked < g.N() {
+		t.Fatalf("spy saw only %d incarnations for %d nodes", checked, g.N())
+	}
+}
+
+// forgeMatching is an adversarial engine: it emits claims that *look* like
+// canonical matching claims but name other nodes' edges, plus half-claims.
+// The matching pruner must never glue these into an invalid matching, and
+// the transformer must still converge once the real engine runs.
+type forgeNode struct {
+	info local.Info
+}
+
+func (n forgeNode) Round(r int, _ []local.Message) ([]local.Message, bool) {
+	return nil, true
+}
+
+func (n forgeNode) Output() any {
+	if len(n.info.Neighbors) == 0 {
+		return problems.EdgeClaim{}
+	}
+	switch n.info.ID % 4 {
+	case 0: // half-claim: name a real incident edge, partner disagrees
+		return problems.NewEdgeClaim(n.info.ID, n.info.Neighbors[0])
+	case 1: // forged: name an edge between two other nodes
+		if len(n.info.Neighbors) >= 2 {
+			return problems.NewEdgeClaim(n.info.Neighbors[0], n.info.Neighbors[1])
+		}
+		return problems.NewEdgeClaim(n.info.Neighbors[0], n.info.Neighbors[0]+1)
+	case 2:
+		return "garbage"
+	default:
+		return problems.EdgeClaim{}
+	}
+}
+
+func TestTransformerSurvivesForgedClaims(t *testing.T) {
+	g, err := graph.GNP(70, 0.07, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forger := local.AlgorithmFunc{
+		AlgoName: "forger",
+		NewNode:  func(info local.Info) local.Node { return forgeNode{info: info} },
+	}
+	d, m := g.MaxDegree(), g.MaxIDValue()
+	real := matching.New(d, m)
+	budget := matching.BoundDelta(d) + matching.BoundM(int(m))
+	plan := listPlan{steps: []Step{
+		{Algo: forger, Budget: 2},
+		{Algo: forger, Budget: 2},
+		{Algo: real, Budget: budget},
+		{Algo: real, Budget: budget},
+		{Algo: real, Budget: budget},
+	}}
+	alt := NewAlternating("forged-then-real", plan, MatchingPruner())
+	res, err := local.Run(g, alt, local.Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problems.ValidMaximalMatching(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUniformMISDeterministicReplay pins the full transformer pipeline:
+// identical seeds give identical outputs and running times across parallel
+// and sequential engines.
+func TestUniformMISDeterministicReplay(t *testing.T) {
+	nu, seq := misEngine()
+	uniform := Uniform(nu, seq, MISPruner())
+	g, err := graph.GNP(90, 0.05, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := local.Run(g, uniform, local.Options{Seed: 21, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := local.Run(g, uniform, local.Options{Seed: 21, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ across schedulers: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for u := range a.Outputs {
+		if a.Outputs[u] != b.Outputs[u] {
+			t.Fatalf("output %d differs across schedulers", u)
+		}
+	}
+}
+
+// TestLasVegasManySeeds hammers the Theorem 2 transform: correctness must
+// hold on every seed (the Las Vegas guarantee), with only the running time
+// varying.
+func TestLasVegasManySeeds(t *testing.T) {
+	nu, seq := lubyEngine()
+	lv := LasVegas(nu, seq, MISPruner())
+	g, err := graph.GNP(100, 0.06, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minRounds, maxRounds := 1<<30, 0
+	for seed := int64(0); seed < 12; seed++ {
+		res, err := local.Run(g, lv, local.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := problems.Bools(res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := problems.ValidMIS(g, in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		minRounds = min(minRounds, res.Rounds)
+		maxRounds = max(maxRounds, res.Rounds)
+	}
+	t.Logf("Las Vegas running-time range over 12 seeds: [%d, %d]", minRounds, maxRounds)
+}
+
+// TestFastestOfPicksCheapEngineOnStars pins Theorem 4's selectivity
+// quantitatively: on a star the greedy engine finishes in O(1), so the
+// combination must stay well below the Δ-engine's Ω(Δ) cost.
+func TestFastestOfPicksCheapEngineOnStars(t *testing.T) {
+	nu, seq := misEngine()
+	uniformDet := Uniform(nu, seq, MISPruner())
+	greedy := local.AlgorithmFunc{
+		AlgoName: "greedy-seq",
+		NewNode:  func(info local.Info) local.Node { return &greedyStarNode{info: info} },
+	}
+	combined := FastestOf("fastest", MISPruner(), uniformDet, greedy)
+	g := graph.Star(800)
+	res, err := local.Run(g, combined, local.Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problems.Bools(res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problems.ValidMIS(g, in); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 120 {
+		t.Errorf("Theorem 4 took %d rounds on a star; the O(1) engine should dominate", res.Rounds)
+	}
+}
+
+// greedyStarNode is the minimal greedy MIS (joins when minimal among
+// undecided neighbours) used as the cheap engine.
+type greedyStarNode struct {
+	info    local.Info
+	in      bool
+	retired map[int64]bool
+}
+
+func (n *greedyStarNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if n.retired == nil {
+		n.retired = make(map[int64]bool)
+	}
+	for _, m := range recv {
+		switch v := m.(type) {
+		case int64:
+			if v > 0 {
+				return local.Broadcast(int64(-n.info.ID), n.info.Degree), true
+			}
+			n.retired[-v] = true
+		}
+	}
+	for _, nb := range n.info.Neighbors {
+		if !n.retired[nb] && nb < n.info.ID {
+			return nil, false
+		}
+	}
+	n.in = true
+	return local.Broadcast(n.info.ID, n.info.Degree), true
+}
+
+func (n *greedyStarNode) Output() any { return n.in }
+
+// Silence the unused-import guard for colormis, which misEngine references
+// indirectly through transform_test.
+var _ = colormis.New

@@ -1,0 +1,135 @@
+// Package core implements the contribution of Korman, Sereni and Viennot,
+// "Toward more localized local algorithms: removing assumptions concerning
+// global knowledge" (PODC 2011 / Distributed Computing 2013):
+//
+//   - pruning algorithms (Section 3): constant-radius local procedures with
+//     the solution-detection and gluing properties, including the concrete
+//     pruners P(2,β) for ruling sets (Observation 3.2), P_MM for maximal
+//     matching (Observation 3.3) and the strong-list-coloring pruner of
+//     Section 5.2;
+//
+//   - alternating algorithms (Section 3.3, Figure 1): running a sequence of
+//     budget-restricted algorithms interleaved with a pruning algorithm so
+//     that the global output never deteriorates (Observation 3.4);
+//
+//   - sequence-number machinery (Section 4.2): bounded set-sequences for
+//     additive and product running-time bounds (Observation 4.1), exposed as
+//     a small composable algebra;
+//
+//   - the transformers: Theorem 1 (Uniform), Theorem 2 (LasVegas),
+//     Theorem 3 (UniformWeaklyDominated), Theorem 4 (FastestOf), Theorem 5
+//     (UniformColoring via strong list coloring) and the Section 5.1
+//     MIS-to-(deg+1)-coloring product construction.
+//
+// The package requires a 64-bit int: parameter guesses range up to 2^62
+// (packed identities of derived graphs).
+package core
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// Param names a non-decreasing graph parameter in the sense of Section 2.
+type Param string
+
+// The parameters used by the paper's applications.
+const (
+	// ParamN is the number of nodes n.
+	ParamN Param = "n"
+	// ParamMaxDegree is the maximum degree Δ.
+	ParamMaxDegree Param = "Delta"
+	// ParamArboricity is the arboricity a.
+	ParamArboricity Param = "a"
+	// ParamMaxID is the maximum identity m (also used for "maximum initial
+	// color" in the coloring applications of Section 5).
+	ParamMaxID Param = "m"
+)
+
+// GuessCap is the largest guess value the machinery will produce; it
+// accommodates the packed identities of derived graphs.
+const GuessCap = int(1) << 62
+
+// NonUniform is a non-uniform local algorithm in the sense of Section 2: a
+// black box whose code consumes one guess per parameter in Params. The
+// contract required by the transformers is:
+//
+//  1. WithGuesses(g) terminates at every node within the running-time bound
+//     encoded by the SetSequence supplied alongside it, for any guesses;
+//  2. if every guess is good (>= the true parameter value on the current
+//     instance), the output solves the problem;
+//  3. with bad guesses the output may be arbitrary (it is never trusted:
+//     only the pruning algorithm certifies outputs).
+type NonUniform interface {
+	Name() string
+	Params() []Param
+	WithGuesses(guesses []int) local.Algorithm
+}
+
+// NonUniformFunc packages a NonUniform from closures.
+type NonUniformFunc struct {
+	AlgoName  string
+	ParamList []Param
+	Build     func(guesses []int) local.Algorithm
+}
+
+// Name implements NonUniform.
+func (a NonUniformFunc) Name() string { return a.AlgoName }
+
+// Params implements NonUniform.
+func (a NonUniformFunc) Params() []Param { return a.ParamList }
+
+// WithGuesses implements NonUniform.
+func (a NonUniformFunc) WithGuesses(guesses []int) local.Algorithm { return a.Build(guesses) }
+
+var _ NonUniform = NonUniformFunc{}
+
+// AscFunc is an ascending function on positive integers: non-decreasing and
+// tending to infinity (Section 2). Ascending functions are the building
+// blocks of running-time bounds; MaxArg inverts them.
+type AscFunc func(x int) int
+
+// MaxArg returns the largest x in [1, GuessCap] with f(x) <= budget, or 0 if
+// f(1) > budget. f must be non-decreasing.
+func MaxArg(f AscFunc, budget int) int {
+	if f(1) > budget {
+		return 0
+	}
+	lo := 1 // f(lo) <= budget
+	hi := 2
+	for hi <= GuessCap/2 && f(hi) <= budget {
+		lo = hi
+		hi *= 2
+	}
+	if hi > GuessCap {
+		hi = GuessCap
+	}
+	if f(hi) <= budget {
+		return hi
+	}
+	// Invariant: f(lo) <= budget < f(hi).
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if f(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// guessString formats guesses for algorithm names.
+func guessString(params []Param, guesses []int) string {
+	s := ""
+	for i, p := range params {
+		if i > 0 {
+			s += ","
+		}
+		if i < len(guesses) {
+			s += fmt.Sprintf("%s=%d", p, guesses[i])
+		}
+	}
+	return s
+}

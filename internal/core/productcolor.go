@@ -1,0 +1,48 @@
+package core
+
+import (
+	"github.com/unilocal/unilocal/internal/algorithms/lift"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// ColoringFromMIS implements Section 5.1 of the paper: it turns any uniform
+// MIS algorithm into a uniform (deg+1)-coloring algorithm by simulating it
+// on the clique product G × K_{deg+1}. A maximal independent set of the
+// product contains exactly one copy u_i per clique C_u, and setting
+// color(u) = i yields a proper coloring with color(u) <= deg(u)+1.
+//
+// The output at each node is an int color; 0 signals that the MIS output
+// was invalid (no copy selected), which cannot happen when mis is correct.
+func ColoringFromMIS(mis local.Algorithm) local.Algorithm {
+	inner := lift.Product(mis)
+	return local.AlgorithmFunc{
+		AlgoName: "degplus1(" + mis.Name() + ")",
+		NewNode: func(info local.Info) local.Node {
+			return &productColorNode{inner: inner.New(info)}
+		},
+	}
+}
+
+type productColorNode struct {
+	inner local.Node
+	color int
+}
+
+func (n *productColorNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	send, done := n.inner.Round(r, recv)
+	if done {
+		if outs, ok := n.inner.Output().([]any); ok {
+			for i, o := range outs {
+				if in, okB := o.(bool); okB && in {
+					n.color = i + 1
+					break
+				}
+			}
+		}
+	}
+	return send, done
+}
+
+func (n *productColorNode) Output() any { return n.color }
+
+var _ local.Node = (*productColorNode)(nil)

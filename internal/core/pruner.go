@@ -1,0 +1,80 @@
+package core
+
+// This file defines the pruning-algorithm abstraction of Section 3. A
+// pruning algorithm P takes a triplet (G, x, ŷ) — graph, input vector,
+// tentative output vector — and selects a set W of nodes to prune, possibly
+// rewriting the inputs of the survivors, subject to:
+//
+//   - solution detection: if (G, x, ŷ) solves the problem, every node is
+//     pruned;
+//   - gluing: any solution of the surviving configuration (G', x') combines
+//     with ŷ restricted to W into a solution for (G, x).
+//
+// The framework runs pruners as constant-round local procedures: each node
+// gathers the radius-Radius() ball of the *current induced graph* (records
+// carry identity, input, tentative output and active-neighbour lists) and
+// evaluates Decide on it. This matches the paper's convention that a
+// pruning algorithm is a uniform constant-time local algorithm.
+
+// BallNode is one record of a gathered ball view.
+type BallNode struct {
+	// ID is the node's identity.
+	ID int64
+	// Dist is its distance from the ball's centre in the induced graph.
+	Dist int
+	// Input is its current problem input x(v).
+	Input any
+	// Tentative is its tentative output ŷ(v). It may be nil or of an
+	// unexpected type (the "restricted to i rounds" convention produces
+	// arbitrary outputs); pruners must treat such values as non-solutions.
+	Tentative any
+	// Neighbors lists the identities of its neighbours in the induced graph.
+	Neighbors []int64
+}
+
+// HasNeighbor reports whether the record lists the given identity.
+func (b *BallNode) HasNeighbor(id int64) bool {
+	for _, x := range b.Neighbors {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Ball is the radius-r view around a node.
+type Ball struct {
+	// CenterID is the identity of the node deciding.
+	CenterID int64
+	// Nodes maps identities to records; it always contains the centre.
+	Nodes map[int64]*BallNode
+}
+
+// Center returns the centre record.
+func (b *Ball) Center() *BallNode { return b.Nodes[b.CenterID] }
+
+// Get returns the record with the given identity, or nil.
+func (b *Ball) Get(id int64) *BallNode { return b.Nodes[id] }
+
+// Decision is a pruner's verdict for one node.
+type Decision struct {
+	// Prune indicates the node's tentative output is final: the node leaves
+	// the computation (it joins the set W of the paper).
+	Prune bool
+	// NewInput, if non-nil, replaces the node's input for the surviving
+	// configuration (the x' of the paper). Ignored for pruned nodes.
+	NewInput any
+}
+
+// Pruner is a pruning algorithm. Decide must be a pure function of the ball
+// (it runs concurrently at every node) and must satisfy solution detection
+// and gluing for its problem; the tests in this package check both
+// properties on randomized instances.
+type Pruner interface {
+	Name() string
+	// Radius is the ball radius Decide inspects; the framework charges
+	// Radius+2 rounds per pruning phase (Radius gather rounds, one announce
+	// round, one absorb round).
+	Radius() int
+	Decide(b *Ball) Decision
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// SetSequence is a bounded set-sequence (S_f(i))_i for a running-time bound
+// f, per Section 4.2 of the paper:
+//
+//   - every guess vector y with f(y) <= i is dominated (coordinate-wise) by
+//     some vector in Sets(i);
+//   - every vector x in Sets(i) satisfies f(x) <= C()*i (boundedness).
+//
+// |Sets(i)| plays the role of the sequence-number function s_f(i); for the
+// constructions below it is 1 (additive bounds) or O(log i) (product
+// bounds), matching Observation 4.1.
+type SetSequence interface {
+	Sets(i int) [][]int
+	C() int
+	// Arity is the number of coordinates of the vectors produced.
+	Arity() int
+}
+
+// Additive returns the set-sequence of an additive bound
+// f(x_1..x_l) = sum_k terms[k](x_k) (Observation 4.1, first case):
+// S_f(i) is a single vector whose k-th coordinate is the largest value with
+// terms[k] <= i, and the bounding constant is l.
+func Additive(terms ...AscFunc) SetSequence {
+	return additiveSeq{terms: terms}
+}
+
+type additiveSeq struct{ terms []AscFunc }
+
+func (s additiveSeq) Arity() int { return len(s.terms) }
+func (s additiveSeq) C() int     { return len(s.terms) }
+
+func (s additiveSeq) Sets(i int) [][]int {
+	if i < 1 {
+		return nil
+	}
+	x := make([]int, len(s.terms))
+	for k, f := range s.terms {
+		x[k] = MaxArg(f, i)
+		if x[k] == 0 {
+			return nil // no vector exists: S_f(i) is empty
+		}
+	}
+	return [][]int{x}
+}
+
+// Product returns the set-sequence of a product bound
+// f(x, y) = f_a(x) * f_b(y) over the concatenated coordinates of a and b
+// (Observation 4.1, second case, generalised to compose recursively): for
+// budget i it crosses a.Sets(2^j) with b.Sets(2^(L-j+1)) for j = 0..L,
+// L = ceil(log2 i), giving |S(i)| = O(log i) vectors with bounding constant
+// 4*C_a*C_b. Both factors must be >= 1 pointwise.
+func Product(a, b SetSequence) SetSequence {
+	return productSeq{a: a, b: b}
+}
+
+type productSeq struct{ a, b SetSequence }
+
+func (s productSeq) Arity() int { return s.a.Arity() + s.b.Arity() }
+func (s productSeq) C() int     { return 4 * s.a.C() * s.b.C() }
+
+func (s productSeq) Sets(i int) [][]int {
+	if i < 1 {
+		return nil
+	}
+	li := mathutil.CeilLog2(i)
+	var out [][]int
+	for j := 0; j <= li; j++ {
+		xa := s.a.Sets(mathutil.SatPow2(j))
+		xb := s.b.Sets(mathutil.SatPow2(li - j + 1))
+		for _, va := range xa {
+			for _, vb := range xb {
+				v := make([]int, 0, len(va)+len(vb))
+				v = append(v, va...)
+				v = append(v, vb...)
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// IsModeratelySlow numerically checks the Section 2 property
+// alpha*f(i) >= f(2i) for all sampled i in [2, maxX].
+func IsModeratelySlow(f AscFunc, alpha, maxX int) bool {
+	for i := 2; i <= maxX; i = sampleNext(i) {
+		if mathutil.SatMul(alpha, f(i)) < f(mathutil.SatMul(2, i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsModeratelyIncreasing additionally checks f(alpha*i) >= 2*f(i).
+func IsModeratelyIncreasing(f AscFunc, alpha, maxX int) bool {
+	if !IsModeratelySlow(f, alpha, maxX) {
+		return false
+	}
+	for i := 2; i <= maxX; i = sampleNext(i) {
+		if f(mathutil.SatMul(alpha, i)) < mathutil.SatMul(2, f(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsModeratelyFast additionally checks x < f(x) <= x^degree (the polynomial
+// envelope of Section 2) on the sampled range.
+func IsModeratelyFast(f AscFunc, alpha, degree, maxX int) bool {
+	if !IsModeratelyIncreasing(f, alpha, maxX) {
+		return false
+	}
+	for i := 2; i <= maxX; i = sampleNext(i) {
+		fx := f(i)
+		if fx <= i {
+			return false
+		}
+		if fx > mathutil.SatPow(i, degree) {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleNext steps the numeric property checks over a dense-then-geometric
+// grid.
+func sampleNext(i int) int {
+	if i < 64 {
+		return i + 1
+	}
+	return i + i/3
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+func TestMaxArg(t *testing.T) {
+	sq := func(x int) int { return x * x }
+	tests := []struct {
+		budget, want int
+	}{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {10, 3}, {100, 10}, {101, 10}, {120, 10}, {121, 11},
+	}
+	for _, tt := range tests {
+		if got := MaxArg(sq, tt.budget); got != tt.want {
+			t.Errorf("MaxArg(x², %d) = %d, want %d", tt.budget, got, tt.want)
+		}
+	}
+	// Functions exceeding the cap saturate at GuessCap.
+	constOne := func(x int) int { return 1 }
+	if got := MaxArg(constOne, 5); got != GuessCap {
+		t.Errorf("MaxArg(1, 5) = %d, want GuessCap", got)
+	}
+}
+
+func TestMaxArgProperty(t *testing.T) {
+	f := func(a, b uint8, budget uint16) bool {
+		// Random non-decreasing function x -> a*x + b*ceil(log2 x).
+		fn := func(x int) int {
+			return int(a%7+1)*x + int(b%5)*mathutil.CeilLog2(x)
+		}
+		x := MaxArg(fn, int(budget))
+		if x == 0 {
+			return fn(1) > int(budget)
+		}
+		if fn(x) > int(budget) {
+			return false
+		}
+		return x == GuessCap || fn(x+1) > int(budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkSetSequence verifies the two defining properties of a bounded
+// set-sequence for bound f on random sample vectors.
+func checkSetSequence(t *testing.T, seq SetSequence, f func([]int) int, rng *rand.Rand, budgets []int, sample func(*rand.Rand) []int) {
+	t.Helper()
+	for _, i := range budgets {
+		sets := seq.Sets(i)
+		// Boundedness: f(x) <= C*i for every emitted vector.
+		for _, x := range sets {
+			if f(x) > seq.C()*i {
+				t.Fatalf("boundedness violated: f(%v) = %d > %d*%d", x, f(x), seq.C(), i)
+			}
+		}
+		// Domination: random y with f(y) <= i must be dominated.
+		for trial := 0; trial < 200; trial++ {
+			y := sample(rng)
+			if f(y) > i {
+				continue
+			}
+			dominated := false
+			for _, x := range sets {
+				ok := true
+				for k := range y {
+					if x[k] < y[k] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("domination violated at i=%d: y=%v f(y)=%d not dominated by %v", i, y, f(y), sets)
+			}
+		}
+	}
+}
+
+func TestAdditiveSetSequence(t *testing.T) {
+	f1 := func(x int) int { return 3*x + 1 }
+	f2 := func(x int) int { return x * x }
+	f3 := func(x int) int { return mathutil.CeilLog2(x) + 1 }
+	seq := Additive(f1, f2, f3)
+	if seq.C() != 3 || seq.Arity() != 3 {
+		t.Fatalf("C=%d arity=%d", seq.C(), seq.Arity())
+	}
+	total := func(x []int) int { return f1(x[0]) + f2(x[1]) + f3(x[2]) }
+	rng := rand.New(rand.NewPCG(1, 2))
+	sample := func(r *rand.Rand) []int {
+		return []int{r.IntN(50) + 1, r.IntN(50) + 1, r.IntN(1 << 20)}
+	}
+	checkSetSequence(t, seq, total, rng, []int{1, 5, 17, 64, 333, 5000}, sample)
+	// Sequence number of an additive bound is 1 (Observation 4.1).
+	for _, i := range []int{10, 100, 1000} {
+		if got := len(seq.Sets(i)); got > 1 {
+			t.Errorf("additive |S(%d)| = %d, want <= 1", i, got)
+		}
+	}
+	// Empty when even the minimal vector is too expensive.
+	if got := seq.Sets(3); len(got) != 0 {
+		t.Errorf("S(3) = %v, want empty (f(1,1,1) = 6 > 3)", got)
+	}
+}
+
+func TestProductSetSequence(t *testing.T) {
+	fa := func(x int) int { return x }
+	fb := func(x int) int { return 2*x + 3 }
+	seq := Product(Additive(fa), Additive(fb))
+	total := func(x []int) int { return fa(x[0]) * fb(x[1]) }
+	rng := rand.New(rand.NewPCG(3, 4))
+	sample := func(r *rand.Rand) []int {
+		return []int{r.IntN(64) + 1, r.IntN(64) + 1}
+	}
+	checkSetSequence(t, seq, total, rng, []int{5, 16, 100, 1000, 4096}, sample)
+	// Sequence number of a product bound is O(log i) (Observation 4.1).
+	for _, i := range []int{16, 256, 4096} {
+		if got, lim := len(seq.Sets(i)), mathutil.CeilLog2(i)+2; got > lim {
+			t.Errorf("product |S(%d)| = %d, want <= %d", i, got, lim)
+		}
+	}
+}
+
+func TestNestedProductSetSequence(t *testing.T) {
+	// f(n, a, m) = log(n) * (a + log*(m)) — the arbmis shape.
+	fn := func(x int) int { return mathutil.CeilLog2(x) + 1 }
+	fa := func(x int) int { return x }
+	fm := func(x int) int { return mathutil.LogStar(x) + 1 }
+	seq := Product(Additive(fn), Additive(fa, fm))
+	total := func(x []int) int { return fn(x[0]) * (fa(x[1]) + fm(x[2])) }
+	rng := rand.New(rand.NewPCG(5, 6))
+	sample := func(r *rand.Rand) []int {
+		return []int{r.IntN(1<<16) + 1, r.IntN(20) + 1, r.IntN(1<<30) + 1}
+	}
+	checkSetSequence(t, seq, total, rng, []int{8, 64, 777, 9999}, sample)
+}
+
+func TestModeratelyPredicates(t *testing.T) {
+	logf := func(x int) int { return mathutil.CeilLog2(x) + 1 }
+	linear := func(x int) int { return 4 * x }
+	quadratic := func(x int) int { return x * x }
+	exp := func(x int) int { return mathutil.SatPow2(min(x, 62)) }
+	if !IsModeratelySlow(logf, 2, 1<<20) {
+		t.Error("log should be moderately slow")
+	}
+	if !IsModeratelySlow(linear, 2, 1<<20) {
+		t.Error("linear should be moderately slow")
+	}
+	if IsModeratelySlow(exp, 4, 1<<10) {
+		t.Error("2^x should not be moderately slow")
+	}
+	if !IsModeratelyIncreasing(linear, 2, 1<<20) {
+		t.Error("linear should be moderately increasing")
+	}
+	if IsModeratelyIncreasing(logf, 2, 1<<20) {
+		t.Error("log should not be moderately increasing (paper, Section 2)")
+	}
+	if !IsModeratelyFast(quadratic, 4, 3, 1<<10) {
+		t.Error("x² should be moderately fast (with α = 4)")
+	}
+	if IsModeratelyFast(quadratic, 2, 3, 1<<10) {
+		t.Error("x² needs α >= 4 for α·f(i) >= f(2i)")
+	}
+	if IsModeratelyFast(logf, 2, 3, 1<<10) {
+		t.Error("log should not be moderately fast (f(x) <= x)")
+	}
+}

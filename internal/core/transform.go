@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// maxIterations caps the doubling schedule; with budgets saturating at
+// mathutil.MaxRoundBudget this is never reached by a correct plan before the
+// engine's round cap fires.
+const maxIterations = 62
+
+// Theorem1Plan implements the schedule of Algorithm 1 (Theorem 1): in
+// iteration i = 1, 2, ..., run a once per guess vector of S_f(2^i), each
+// restricted to C*2^i rounds, each followed by the pruning algorithm. The
+// SetSequence must encode a valid running-time bound of a: every vector x it
+// emits for budget 2^i guarantees a finishes within C*2^i rounds, and every
+// good guess vector is eventually dominated.
+func Theorem1Plan(a NonUniform, seq SetSequence) Plan {
+	return theorem1Plan{a: a, seq: seq}
+}
+
+type theorem1Plan struct {
+	a   NonUniform
+	seq SetSequence
+}
+
+func (p theorem1Plan) Step(k int) (Step, bool) {
+	acc := 0
+	for i := 1; i <= maxIterations; i++ {
+		vs := p.seq.Sets(mathutil.SatPow2(i))
+		if k < acc+len(vs) {
+			g := vs[k-acc]
+			return Step{
+				Algo:   p.a.WithGuesses(g),
+				Budget: mathutil.SatMul(p.seq.C(), mathutil.SatPow2(i)),
+			}, true
+		}
+		acc += len(vs)
+	}
+	return Step{}, false
+}
+
+// Uniform applies Theorem 1: it transforms the non-uniform algorithm a,
+// whose running time is bounded by the (additive/product/...) bound encoded
+// in seq, into a uniform algorithm for the problem certified by pruner, with
+// asymptotically the same running time O(f* · s_f(f*)).
+func Uniform(a NonUniform, seq SetSequence, pruner Pruner) local.Algorithm {
+	return NewAlternating(fmt.Sprintf("uniform(%s)", a.Name()), Theorem1Plan(a, seq), pruner)
+}
+
+// Theorem2Plan implements the schedule of Algorithm 2 (Theorem 2): iteration
+// i replays iterations 1..i of the Theorem 1 schedule, so a weak Monte Carlo
+// algorithm gets a geometrically growing number of independent retries at
+// every budget level, yielding a Las Vegas algorithm with expected running
+// time O(f* · s_f(f*)).
+func Theorem2Plan(a NonUniform, seq SetSequence) Plan {
+	return theorem2Plan{inner: theorem1Plan{a: a, seq: seq}}
+}
+
+type theorem2Plan struct {
+	inner theorem1Plan
+}
+
+func (p theorem2Plan) Step(k int) (Step, bool) {
+	// Iteration i of τ consists of the first len_1 + ... + len_i steps of π,
+	// where len_j = |S_f(2^j)|. Walk iterations, subtracting prefix sizes.
+	prefix := 0 // steps of π in iterations 1..i
+	for i := 1; i <= maxIterations; i++ {
+		vs := p.inner.seq.Sets(mathutil.SatPow2(i))
+		prefix += len(vs)
+		if k < prefix {
+			break
+		}
+		k -= prefix
+	}
+	if k >= prefix {
+		return Step{}, false
+	}
+	return p.inner.Step(k)
+}
+
+// LasVegas applies Theorem 2: it transforms the weak Monte Carlo algorithm
+// a (success probability >= 1/2 under good guesses) into a uniform Las
+// Vegas algorithm; correctness is certain, and the expected running time is
+// O(f* · s_f(f*)). Fresh randomness is used on every retry.
+func LasVegas(a NonUniform, seq SetSequence, pruner Pruner) local.Algorithm {
+	return NewAlternating(fmt.Sprintf("lasvegas(%s)", a.Name()), Theorem2Plan(a, seq), pruner)
+}
+
+// Theorem4Plan implements the schedule of Theorem 4: iteration i runs each
+// of the uniform algorithms restricted to 2^i rounds, followed by pruning.
+func Theorem4Plan(algos []local.Algorithm) Plan {
+	return theorem4Plan{algos: algos}
+}
+
+type theorem4Plan struct {
+	algos []local.Algorithm
+}
+
+func (p theorem4Plan) Step(k int) (Step, bool) {
+	if len(p.algos) == 0 {
+		return Step{}, false
+	}
+	i := k/len(p.algos) + 1
+	if i > maxIterations {
+		return Step{}, false
+	}
+	return Step{Algo: p.algos[k%len(p.algos)], Budget: mathutil.SatPow2(i)}, true
+}
+
+// FastestOf applies Theorem 4: given uniform algorithms for the same
+// problem whose running times depend on different unknown parameters, it
+// returns a uniform algorithm that runs in O(min of their running times) on
+// every instance.
+func FastestOf(name string, pruner Pruner, algos ...local.Algorithm) local.Algorithm {
+	return NewAlternating(name, Theorem4Plan(algos), pruner)
+}
+
+// Domination declares that a parameter of Γ \ Λ is weakly dominated in the
+// sense of Section 2: G(param(G,x)) <= lambda[ByIndex](G,x) on every
+// instance, with G ascending.
+type Domination struct {
+	// Param is the correctness-only parameter γ_j.
+	Param Param
+	// ByIndex is the index (into the Λ parameter vector / the SetSequence
+	// coordinates) of the dominating parameter q_{h(j)}.
+	ByIndex int
+	// G is the ascending function g_j.
+	G AscFunc
+}
+
+// UniformWeaklyDominated applies Theorem 3: algorithm a depends on
+// parameters Γ = a.Params(), its running time is bounded with respect to the
+// parameters lambda (encoded in seq, whose coordinates follow lambda), and
+// every parameter of Γ not in lambda is weakly dominated per doms. The
+// result is a uniform algorithm with running time O(f(Λ*) · s_f(f(Λ*))).
+//
+// Following the proof, each guess vector x for Λ is extended with the
+// pseudo-guess g_j⁻¹(x[h(j)]) = max{y : g_j(y) <= x[h(j)]} for every
+// dominated parameter.
+func UniformWeaklyDominated(a NonUniform, lambda []Param, doms []Domination, seq SetSequence, pruner Pruner) (local.Algorithm, error) {
+	if seq.Arity() != len(lambda) {
+		return nil, fmt.Errorf("core: set-sequence arity %d != |Λ| = %d", seq.Arity(), len(lambda))
+	}
+	// Precompute, for each γ in Γ, how to fill its guess from a Λ-vector.
+	type source struct {
+		fromLambda int     // index into the Λ vector, or -1
+		dom        AscFunc // g_j for dominated parameters
+		domIdx     int
+	}
+	sources := make([]source, 0, len(a.Params()))
+	for _, gamma := range a.Params() {
+		src := source{fromLambda: -1, domIdx: -1}
+		for i, l := range lambda {
+			if l == gamma {
+				src.fromLambda = i
+				break
+			}
+		}
+		if src.fromLambda < 0 {
+			for _, d := range doms {
+				if d.Param == gamma {
+					if d.ByIndex < 0 || d.ByIndex >= len(lambda) {
+						return nil, fmt.Errorf("core: domination of %q references Λ index %d out of range", gamma, d.ByIndex)
+					}
+					src.dom = d.G
+					src.domIdx = d.ByIndex
+					break
+				}
+			}
+			if src.dom == nil {
+				return nil, fmt.Errorf("core: parameter %q neither in Λ nor dominated", gamma)
+			}
+		}
+		sources = append(sources, src)
+	}
+	derived := NonUniformFunc{
+		AlgoName:  a.Name() + "/Θ3",
+		ParamList: lambda,
+		Build: func(guesses []int) local.Algorithm {
+			full := make([]int, len(sources))
+			for i, src := range sources {
+				if src.fromLambda >= 0 {
+					full[i] = guesses[src.fromLambda]
+				} else {
+					full[i] = MaxArg(src.dom, guesses[src.domIdx])
+					if full[i] < 1 {
+						full[i] = 1
+					}
+				}
+			}
+			return a.WithGuesses(full)
+		},
+	}
+	return Uniform(derived, seq, pruner), nil
+}

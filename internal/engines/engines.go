@@ -1,0 +1,318 @@
+// Package engines wires every Table 1 row of Korman–Sereni–Viennot to its
+// concrete algorithms and transformers: for each row it exposes the
+// non-uniform engine (instantiated with correct guesses, the baseline the
+// paper compares against) and the uniform algorithm obtained through the
+// paper's machinery (Theorems 1–5 and Section 5.1). The benchmark harness,
+// the command-line tools and the examples all build on this package, so the
+// wiring of each experiment lives in exactly one place.
+package engines
+
+import (
+	"github.com/unilocal/unilocal/internal/algorithms/arbmis"
+	"github.com/unilocal/unilocal/internal/algorithms/coloralgo"
+	"github.com/unilocal/unilocal/internal/algorithms/colormis"
+	"github.com/unilocal/unilocal/internal/algorithms/edgecolor"
+	"github.com/unilocal/unilocal/internal/algorithms/lift"
+	"github.com/unilocal/unilocal/internal/algorithms/linial"
+	"github.com/unilocal/unilocal/internal/algorithms/luby"
+	"github.com/unilocal/unilocal/internal/algorithms/matching"
+	"github.com/unilocal/unilocal/internal/algorithms/rulingset"
+	"github.com/unilocal/unilocal/internal/algorithms/seqmis"
+	"github.com/unilocal/unilocal/internal/core"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// CorrectGuesses returns the true parameter values (Δ, m, n, a-upper-bound)
+// of a graph, the guesses a non-uniform baseline is fed.
+func CorrectGuesses(g *graph.Graph) (delta int, m int64, n int, arb int) {
+	delta = g.MaxDegree()
+	m = g.MaxIDValue()
+	if m < 1 {
+		m = 1
+	}
+	n = g.N()
+	if n < 1 {
+		n = 1
+	}
+	_, arb = graph.ArboricityBounds(g)
+	if arb < 1 {
+		arb = 1
+	}
+	return delta, m, n, arb
+}
+
+// --- Row "Det. MIS and (Δ+1)-coloring, O(Δ + log* n)" (BE/Kuhn regime) ---
+
+// MISDeltaEngine is the colormis stack as a Theorem 1 black box with
+// Γ = {Δ, m} and an additive bound.
+func MISDeltaEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "colormis",
+		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return colormis.New(g[0], int64(g[1]))
+		},
+	}
+	return nu, core.Additive(colormis.BoundDelta, colormis.BoundM)
+}
+
+// NonUniformMISDelta is the baseline with correct guesses.
+func NonUniformMISDelta(g *graph.Graph) local.Algorithm {
+	d, m, _, _ := CorrectGuesses(g)
+	return colormis.New(d, m)
+}
+
+// UniformMISDelta is the Theorem 1 uniform MIS (Corollary 2, first item).
+func UniformMISDelta() local.Algorithm {
+	nu, seq := MISDeltaEngine()
+	return core.Uniform(nu, seq, core.MISPruner())
+}
+
+// --- Row "Det. MIS, 2^O(√log n)" (Panconesi–Srinivasan slot; see
+// DESIGN.md §4 for the greedy-by-identity substitution) ---
+
+// MISIDEngine is the truncated sequential-greedy MIS with Γ = {m}.
+func MISIDEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "seqmis",
+		ParamList: []core.Param{core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return seqmis.Truncated(g[0])
+		},
+	}
+	return nu, core.Additive(seqmis.Rounds)
+}
+
+// NonUniformMISID is the baseline with correct guesses.
+func NonUniformMISID(g *graph.Graph) local.Algorithm {
+	_, m, _, _ := CorrectGuesses(g)
+	return seqmis.Truncated(int(m))
+}
+
+// UniformMISID is the Theorem 1 uniform MIS whose time depends on m only.
+func UniformMISID() local.Algorithm {
+	nu, seq := MISIDEngine()
+	return core.Uniform(nu, seq, core.MISPruner())
+}
+
+// --- Arboricity rows (Barenboim–Elkin [6] regime) ---
+
+// MISArbEngine is the H-partition MIS with Γ = {n, a, m} and the
+// product-form bound f(ñ)·(f(ã)+f(m̃)) of Observation 4.1.
+func MISArbEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "arbmis",
+		ParamList: []core.Param{core.ParamN, core.ParamArboricity, core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return arbmis.New(g[1], g[0], int64(g[2]))
+		},
+	}
+	seq := core.Product(
+		core.Additive(arbmis.BoundLayers),
+		core.Additive(arbmis.BoundA, arbmis.BoundM),
+	)
+	return nu, seq
+}
+
+// NonUniformMISArb is the baseline with correct guesses (arboricity taken
+// as its degeneracy upper bound).
+func NonUniformMISArb(g *graph.Graph) local.Algorithm {
+	_, m, n, a := CorrectGuesses(g)
+	return arbmis.New(a, n, m)
+}
+
+// UniformMISArb is the Theorem 1 uniform arboricity MIS (Corollaries 3/4).
+func UniformMISArb() local.Algorithm {
+	nu, seq := MISArbEngine()
+	return core.Uniform(nu, seq, core.MISPruner())
+}
+
+// UniformMISArbTheorem3 derives the same uniform algorithm via Theorem 3,
+// with Λ = {n, m} and the arboricity weakly dominated by n (a <= n).
+func UniformMISArbTheorem3() (local.Algorithm, error) {
+	nu, _ := MISArbEngine()
+	seq := core.Product(
+		core.Additive(arbmis.BoundLayers),
+		core.Additive(
+			func(n int) int { return arbmis.BoundA(n) }, // a replaced by its dominator
+			arbmis.BoundM,
+		),
+	)
+	return core.UniformWeaklyDominated(nu,
+		[]core.Param{core.ParamN, core.ParamN, core.ParamMaxID},
+		[]core.Domination{{Param: core.ParamArboricity, ByIndex: 1, G: func(x int) int { return x }}},
+		seq, core.MISPruner())
+}
+
+// --- Corollary 1(i): min of the three MIS engines via Theorem 4 ---
+
+// BestMIS combines the three uniform MIS algorithms (Δ-engine, m-engine,
+// arboricity engine) with Theorem 4, running as fast as the fastest.
+func BestMIS() local.Algorithm {
+	return core.FastestOf("best-mis", core.MISPruner(),
+		UniformMISDelta(), UniformMISArb(), seqmis.New())
+}
+
+// --- Row "Rand. MIS, uniform O(log n)" ---
+
+// LubyMIS is the uniform randomized baseline.
+func LubyMIS() local.Algorithm { return luby.New() }
+
+// --- Theorem 2: Monte Carlo → Las Vegas ---
+
+// LasVegasMIS transforms truncated Luby (weak Monte Carlo) into a uniform
+// Las Vegas MIS.
+func LasVegasMIS() local.Algorithm {
+	nu := core.NonUniformFunc{
+		AlgoName:  "luby-truncated",
+		ParamList: []core.Param{core.ParamN},
+		Build: func(g []int) local.Algorithm {
+			return luby.Truncated(g[0])
+		},
+	}
+	return core.LasVegas(nu, core.Additive(luby.Rounds), core.MISPruner())
+}
+
+// LasVegasRulingSet transforms the truncated power-graph Luby into a
+// uniform Las Vegas (2, beta)-ruling set (Corollary 1(vii) slot).
+func LasVegasRulingSet(beta int) local.Algorithm {
+	nu := core.NonUniformFunc{
+		AlgoName:  "power-luby",
+		ParamList: []core.Param{core.ParamN},
+		Build: func(g []int) local.Algorithm {
+			return rulingset.TruncatedPowerLuby(beta, g[0])
+		},
+	}
+	seq := core.Additive(func(n int) int { return rulingset.PowerLubyRounds(beta, n) })
+	return core.LasVegas(nu, seq, core.RulingSetPruner(beta))
+}
+
+// NonUniformRulingSet is the weak Monte Carlo baseline with correct guesses.
+func NonUniformRulingSet(beta int) func(g *graph.Graph) local.Algorithm {
+	return func(g *graph.Graph) local.Algorithm {
+		return rulingset.TruncatedPowerLuby(beta, g.N())
+	}
+}
+
+// --- Matching row (Corollary 1(vi)) ---
+
+// MatchingEngine is the line-graph matching with Γ = {Δ, m}.
+func MatchingEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "line-matching",
+		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return matching.New(g[0], int64(g[1]))
+		},
+	}
+	return nu, core.Additive(matching.BoundDelta, matching.BoundM)
+}
+
+// NonUniformMatching is the baseline with correct guesses.
+func NonUniformMatching(g *graph.Graph) local.Algorithm {
+	d, m, _, _ := CorrectGuesses(g)
+	return matching.New(d, m)
+}
+
+// UniformMatching is the Theorem 1 uniform maximal matching.
+func UniformMatching() local.Algorithm {
+	nu, seq := MatchingEngine()
+	return core.Uniform(nu, seq, core.MatchingPruner())
+}
+
+// --- Coloring rows (Theorem 5 and Section 5.1) ---
+
+// QuadEngine is the O(Δ̃²)-coloring engine (Linial) for Theorem 5.
+type QuadEngine struct{}
+
+// Name implements core.ColoringEngine.
+func (QuadEngine) Name() string { return "linial-quad" }
+
+// G implements core.ColoringEngine.
+func (QuadEngine) G(d int) int {
+	if d < 0 {
+		d = 0
+	}
+	return mathutil.SatMul(3*d+4, 3*d+4)
+}
+
+// New implements core.ColoringEngine.
+func (QuadEngine) New(deltaHat int, mHat int64) local.Algorithm { return linial.New(deltaHat, mHat) }
+
+// BoundDelta implements core.ColoringEngine.
+func (QuadEngine) BoundDelta(d int) int { return mathutil.CeilLog2(d+1) + 16 }
+
+// BoundM implements core.ColoringEngine.
+func (QuadEngine) BoundM(m int) int { return coloralgo.BoundM(m) }
+
+// LambdaColoringEngine is the λ(Δ̃+1)-coloring engine for Theorem 5.
+type LambdaColoringEngine struct{ Lambda int }
+
+// Name implements core.ColoringEngine.
+func (e LambdaColoringEngine) Name() string { return "lambda-coloring" }
+
+// G implements core.ColoringEngine.
+func (e LambdaColoringEngine) G(d int) int {
+	if d < 0 {
+		d = 0
+	}
+	return coloralgo.LambdaPalette(e.Lambda, d)
+}
+
+// New implements core.ColoringEngine.
+func (e LambdaColoringEngine) New(deltaHat int, mHat int64) local.Algorithm {
+	return coloralgo.Lambda(e.Lambda, deltaHat, mHat)
+}
+
+// BoundDelta implements core.ColoringEngine.
+func (e LambdaColoringEngine) BoundDelta(d int) int { return coloralgo.LambdaBoundDelta(e.Lambda, d) }
+
+// BoundM implements core.ColoringEngine.
+func (e LambdaColoringEngine) BoundM(m int) int { return coloralgo.BoundM(m) }
+
+// UniformQuadColoring is the Theorem 5 uniform O(Δ²)-coloring in O(log* m)
+// rounds (Corollary 1(iii), second item).
+func UniformQuadColoring() (local.Algorithm, error) {
+	return core.UniformColoring(QuadEngine{})
+}
+
+// UniformLambdaColoring is the Theorem 5 uniform λ(Δ+1)-style coloring
+// (Corollary 1(iii), first item).
+func UniformLambdaColoring(lambda int) (local.Algorithm, error) {
+	return core.UniformColoring(LambdaColoringEngine{Lambda: lambda})
+}
+
+// NonUniformLambdaColoring is the baseline with correct guesses.
+func NonUniformLambdaColoring(lambda int) func(g *graph.Graph) local.Algorithm {
+	return func(g *graph.Graph) local.Algorithm {
+		d, m, _, _ := CorrectGuesses(g)
+		return coloralgo.Lambda(lambda, d, m)
+	}
+}
+
+// UniformDegPlusOneColoring is the Section 5.1 uniform (deg+1)-coloring
+// built on a uniform MIS (Corollary 1(ii) route).
+func UniformDegPlusOneColoring(mis local.Algorithm) local.Algorithm {
+	return core.ColoringFromMIS(mis)
+}
+
+// --- Edge-coloring rows (Corollary 1(v), via the line-graph lift) ---
+
+// NonUniformEdgeColoring is the (2Δ−1)-edge-coloring baseline.
+func NonUniformEdgeColoring(g *graph.Graph) local.Algorithm {
+	d, m, _, _ := CorrectGuesses(g)
+	return edgecolor.New(d, m)
+}
+
+// UniformEdgeColoring runs the Theorem 5 uniform coloring on the line
+// graph: a uniform O(Δ²)-edge-coloring (the λ engine gives the trade-off
+// variant).
+func UniformEdgeColoring() (local.Algorithm, error) {
+	inner, err := core.UniformColoring(QuadEngine{})
+	if err != nil {
+		return nil, err
+	}
+	return lift.LineGraph(inner, nil), nil
+}

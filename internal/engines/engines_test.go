@@ -1,0 +1,213 @@
+package engines
+
+import (
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+func suite(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	gnp, err := graph.GNP(100, 0.05, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, _ := graph.Cycle(24)
+	return map[string]*graph.Graph{
+		"path":   graph.Path(40),
+		"cycle":  cyc,
+		"star":   graph.Star(25),
+		"clique": graph.Complete(10),
+		"gnp":    gnp,
+		"forest": graph.ForestUnion(70, 2, 5),
+	}
+}
+
+func runBools(t *testing.T, g *graph.Graph, a local.Algorithm, seed int64) ([]bool, int) {
+	t.Helper()
+	res, err := local.Run(g, a, local.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	bs, err := problems.Bools(res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs, res.Rounds
+}
+
+func TestAllMISEnginesProduceValidMIS(t *testing.T) {
+	algos := map[string]local.Algorithm{
+		"uniform-delta": UniformMISDelta(),
+		"uniform-id":    UniformMISID(),
+		"uniform-arb":   UniformMISArb(),
+		"best":          BestMIS(),
+		"luby":          LubyMIS(),
+		"lasvegas":      LasVegasMIS(),
+	}
+	t3, err := UniformMISArbTheorem3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos["uniform-arb-thm3"] = t3
+	for gname, g := range suite(t) {
+		for aname, a := range algos {
+			in, _ := runBools(t, g, a, 13)
+			if err := problems.ValidMIS(g, in); err != nil {
+				t.Errorf("%s on %s: %v", aname, gname, err)
+			}
+		}
+	}
+}
+
+func TestNonUniformBaselines(t *testing.T) {
+	for gname, g := range suite(t) {
+		for aname, build := range map[string]func(*graph.Graph) local.Algorithm{
+			"colormis": NonUniformMISDelta,
+			"seqmis":   NonUniformMISID,
+			"arbmis":   NonUniformMISArb,
+		} {
+			in, _ := runBools(t, g, build(g), 3)
+			if err := problems.ValidMIS(g, in); err != nil {
+				t.Errorf("%s on %s: %v", aname, gname, err)
+			}
+		}
+	}
+}
+
+func TestUniformMatchingRow(t *testing.T) {
+	for gname, g := range suite(t) {
+		res, err := local.Run(g, UniformMatching(), local.Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if err := problems.ValidMaximalMatching(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", gname, err)
+		}
+	}
+}
+
+func TestNonUniformMatchingBaseline(t *testing.T) {
+	for gname, g := range suite(t) {
+		res, err := local.Run(g, NonUniformMatching(g), local.Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if err := problems.ValidMaximalMatching(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", gname, err)
+		}
+	}
+}
+
+func TestLasVegasRulingSetRow(t *testing.T) {
+	g, err := graph.GNP(90, 0.06, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []int{1, 2} {
+		lv := LasVegasRulingSet(beta)
+		for seed := int64(0); seed < 2; seed++ {
+			in, _ := runBools(t, g, lv, seed)
+			if err := problems.ValidRulingSet(g, in, 2, beta); err != nil {
+				t.Errorf("β=%d seed %d: %v", beta, seed, err)
+			}
+		}
+	}
+}
+
+func TestColoringRows(t *testing.T) {
+	quad, err := UniformQuadColoring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := UniformLambdaColoring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg1 := UniformDegPlusOneColoring(LubyMIS())
+	for gname, g := range suite(t) {
+		for aname, a := range map[string]local.Algorithm{"quad": quad, "lambda": lam, "deg+1": deg1} {
+			res, err := local.Run(g, a, local.Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", aname, gname, err)
+			}
+			colors, err := problems.Ints(res.Outputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			palette := 0 // skip range check except deg+1
+			if aname == "deg+1" {
+				palette = g.MaxDegree() + 1
+			}
+			if err := problems.ValidColoring(g, colors, palette); err != nil {
+				t.Errorf("%s on %s: %v", aname, gname, err)
+			}
+		}
+	}
+}
+
+// edgeColors converts per-port outputs to the canonical edge-color slice.
+func edgeColors(g *graph.Graph, outputs []any) []int {
+	edges := g.Edges()
+	colors := make([]int, len(edges))
+	for i, e := range edges {
+		outs, ok := outputs[e.U].([]int)
+		if !ok {
+			continue
+		}
+		for p := 0; p < g.Degree(int(e.U)); p++ {
+			if g.Neighbor(int(e.U), p) == int(e.V) {
+				colors[i] = outs[p]
+				break
+			}
+		}
+	}
+	return colors
+}
+
+func TestEdgeColoringRows(t *testing.T) {
+	for gname, g := range suite(t) {
+		if g.NumEdges() == 0 {
+			continue
+		}
+		res, err := local.Run(g, NonUniformEdgeColoring(g), local.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		colors := edgeColors(g, res.Outputs)
+		if err := problems.ValidEdgeColoring(g, colors, 2*g.MaxDegree()-1); err != nil {
+			t.Errorf("non-uniform %s: %v", gname, err)
+		}
+	}
+	uni, err := UniformEdgeColoring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.GNP(60, 0.06, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.Run(g, uni, local.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniform Theorem-5 edge coloring emits per-port []any of ints.
+	edges := g.Edges()
+	colors := make([]int, len(edges))
+	for i, e := range edges {
+		outs := res.Outputs[e.U].([]any)
+		for p := 0; p < g.Degree(int(e.U)); p++ {
+			if g.Neighbor(int(e.U), p) == int(e.V) {
+				if c, ok := outs[p].(int); ok {
+					colors[i] = c
+				}
+				break
+			}
+		}
+	}
+	if err := problems.ValidEdgeColoring(g, colors, 0); err != nil {
+		t.Error(err)
+	}
+}

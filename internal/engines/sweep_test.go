@@ -1,0 +1,119 @@
+package engines
+
+import (
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/problems"
+)
+
+// TestRatioFlatAcrossSizes is the headline reproduction claim in test form:
+// the uniform/non-uniform round ratio of the Theorem 1 MIS must not grow
+// with n (measured over a 16x sweep on bounded-degree graphs).
+func TestRatioFlatAcrossSizes(t *testing.T) {
+	uniform := UniformMISDelta()
+	ratios := make([]float64, 0, 3)
+	for _, n := range []int{128, 512, 2048} {
+		g, err := graph.RandomRegular(n, 4, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := local.Run(g, uniform, local.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nu, err := local.Run(g, NonUniformMISDelta(g), local.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := problems.Bools(un.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := problems.ValidMIS(g, in); err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, float64(un.Rounds)/float64(nu.Rounds))
+	}
+	t.Logf("ratios across sweep: %v", ratios)
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 3*ratios[0] {
+			t.Errorf("ratio grew from %.2f to %.2f across the sweep — transformer overhead not flat", ratios[0], ratios[i])
+		}
+	}
+}
+
+// TestBestMISSelectivity pins Theorem 4's selection on opposite extremes.
+func TestBestMISSelectivity(t *testing.T) {
+	combined := BestMIS()
+	star := graph.Star(1500)
+	res, err := local.Run(star, combined, local.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problems.Bools(res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problems.ValidMIS(star, in); err != nil {
+		t.Fatal(err)
+	}
+	// The greedy engine solves a star in O(1); with Theorem 4 interleaving
+	// the combination must stay far below Δ = 1499.
+	if res.Rounds > 150 {
+		t.Errorf("best-MIS took %d rounds on a star (Δ=%d); expected the O(1) engine to win", res.Rounds, star.MaxDegree())
+	}
+}
+
+// TestLambdaTradeoffShape verifies the paper's trade-off direction on the
+// non-uniform row: doubling λ must never slow the coloring down.
+func TestLambdaTradeoffShape(t *testing.T) {
+	g, err := graph.RandomRegular(256, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, lambda := range []int{1, 2, 4, 8, 16} {
+		res, err := local.Run(g, NonUniformLambdaColoring(lambda)(g), local.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err := problems.Ints(res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := problems.ValidColoring(g, colors, 0); err != nil {
+			t.Fatalf("λ=%d: %v", lambda, err)
+		}
+		if res.Rounds > prev+2 {
+			t.Errorf("λ=%d: %d rounds after %d — trade-off direction violated", lambda, res.Rounds, prev)
+		}
+		prev = res.Rounds
+	}
+}
+
+// TestLubyLogShape verifies the O(log n) growth of the uniform randomized
+// row: quadrupling n must not triple the rounds.
+func TestLubyLogShape(t *testing.T) {
+	rounds := make([]int, 0, 3)
+	for _, n := range []int{1024, 4096, 16384} {
+		g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := local.Run(g, LubyMIS(), local.Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Rounds
+		}
+		rounds = append(rounds, total/3)
+	}
+	t.Logf("luby rounds across n sweep: %v", rounds)
+	if rounds[2] > rounds[0]*3 {
+		t.Errorf("luby rounds grew superlogarithmically: %v", rounds)
+	}
+}

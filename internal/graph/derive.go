@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PackIDs packs two identities (each in [1, MaxID]) into a single identity
+// for a derived-graph node. The packing is order-preserving lexicographically
+// and injective.
+func PackIDs(a, b int64) int64 { return a<<31 | b }
+
+// UnpackIDs is the inverse of PackIDs.
+func UnpackIDs(p int64) (a, b int64) { return p >> 31, p & MaxID }
+
+// LineGraph returns the line graph L(g): one node per edge of g, with two
+// nodes adjacent iff the edges share an endpoint. The i-th returned node
+// corresponds to edges[i] of the also-returned canonical edge list, and
+// carries identity PackIDs(idU, idV) with idU < idV, matching the virtual
+// identities used by the line-graph lift.
+func LineGraph(g *Graph) (*Graph, []Edge, error) {
+	edges := g.Edges()
+	idx := make(map[Edge]int, len(edges))
+	for i, e := range edges {
+		idx[e] = i
+	}
+	b := NewBuilder(len(edges))
+	for i, e := range edges {
+		u, v := g.ID(int(e.U)), g.ID(int(e.V))
+		if u > v {
+			u, v = v, u
+		}
+		b.SetID(i, PackIDs(u, v))
+	}
+	for i, e := range edges {
+		for _, endpoint := range [2]int32{e.U, e.V} {
+			for _, w := range g.Neighbors(int(endpoint)) {
+				f := Edge{U: endpoint, V: w}
+				if f.U > f.V {
+					f.U, f.V = f.V, f.U
+				}
+				j := idx[f]
+				if j != i {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	lg, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: line graph: %w", err)
+	}
+	return lg, edges, nil
+}
+
+// Power returns the k-th power g^k: same nodes and identities, with an edge
+// between any two distinct nodes at distance at most k in g.
+func Power(g *Graph, k int) (*Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: power exponent %d < 1", k)
+	}
+	n := g.N()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.SetID(u, g.ID(u))
+	}
+	// BFS to depth k from every node.
+	dist := make([]int, n)
+	queue := make([]int32, 0, n)
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		queue = queue[:0]
+		queue = append(queue, int32(u))
+		stamp[u] = u
+		dist[u] = 0
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			if dist[x] == k {
+				continue
+			}
+			for _, y := range g.Neighbors(int(x)) {
+				if stamp[y] != u {
+					stamp[y] = u
+					dist[y] = dist[x] + 1
+					queue = append(queue, y)
+					if int(y) > u {
+						b.AddEdge(u, int(y))
+					} else {
+						b.AddEdge(int(y), u)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CliqueCopy identifies one node of the clique product: copy I (1-based,
+// I <= deg+1) of original node V.
+type CliqueCopy struct {
+	V int32
+	I int32
+}
+
+// ProductDegPlusOne returns the graph G x K_{deg+1} of Section 5.1 of the
+// paper: every node u of g is replaced by a clique C_u on deg(u)+1 copies
+// u_1..u_{deg(u)+1}, and for every edge (u,v) of g the copies u_i and v_i are
+// adjacent for every i <= 1+min(deg(u), deg(v)). Maximal independent sets of
+// the product correspond one-to-one to (deg+1)-colorings of g.
+//
+// Copy u_i carries identity PackIDs(ID(u), i), matching the product lift.
+func ProductDegPlusOne(g *Graph) (*Graph, []CliqueCopy, error) {
+	n := g.N()
+	offset := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		offset[u+1] = offset[u] + g.Degree(u) + 1
+	}
+	total := offset[n]
+	copies := make([]CliqueCopy, total)
+	b := NewBuilder(total)
+	for u := 0; u < n; u++ {
+		du := g.Degree(u)
+		for i := 0; i <= du; i++ {
+			node := offset[u] + i
+			copies[node] = CliqueCopy{V: int32(u), I: int32(i + 1)}
+			b.SetID(node, PackIDs(g.ID(u), int64(i+1)))
+		}
+		// Clique on the copies of u.
+		for i := 0; i <= du; i++ {
+			for j := i + 1; j <= du; j++ {
+				b.AddEdge(offset[u]+i, offset[u]+j)
+			}
+		}
+		// Cross edges u_i -- v_i for i <= 1+min(deg u, deg v).
+		for _, v := range g.Neighbors(u) {
+			if int(v) < u {
+				continue
+			}
+			m := min(du, g.Degree(int(v))) + 1
+			for i := 0; i < m; i++ {
+				b.AddEdge(offset[u]+i, offset[int(v)]+i)
+			}
+		}
+	}
+	pg, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: clique product: %w", err)
+	}
+	return pg, copies, nil
+}
+
+// InducedSubgraph returns the subgraph of g induced by the nodes with
+// keep[u] == true, preserving identities, together with the mapping from new
+// node indices to original indices.
+func InducedSubgraph(g *Graph, keep []bool) (*Graph, []int32, error) {
+	if len(keep) != g.N() {
+		return nil, nil, fmt.Errorf("graph: keep mask has %d entries for %d nodes", len(keep), g.N())
+	}
+	orig := make([]int32, 0)
+	newIdx := make([]int32, g.N())
+	for u := range newIdx {
+		newIdx[u] = -1
+	}
+	for u := 0; u < g.N(); u++ {
+		if keep[u] {
+			newIdx[u] = int32(len(orig))
+			orig = append(orig, int32(u))
+		}
+	}
+	b := NewBuilder(len(orig))
+	for i, u := range orig {
+		b.SetID(i, g.ID(int(u)))
+		for _, v := range g.Neighbors(int(u)) {
+			if keep[v] && u < v {
+				b.AddEdge(i, int(newIdx[v]))
+			}
+		}
+	}
+	sg, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sg, orig, nil
+}
+
+// BFSDistances returns the distances from src to every node (-1 when
+// unreachable).
+func BFSDistances(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// SortedIDs returns the identities of g in increasing order (a convenience
+// for tests).
+func SortedIDs(g *Graph) []int64 {
+	ids := append([]int64(nil), g.ids...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

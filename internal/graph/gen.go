@@ -1,0 +1,416 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/unilocal/unilocal/internal/mathutil"
+)
+
+// newRNG derives a deterministic PCG stream for a generator from a seed.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), mathutil.SplitMix64(uint64(seed))))
+}
+
+func mustBuild(b *Builder) *Graph {
+	g, err := b.Build()
+	if err != nil {
+		// Generators only call mustBuild on internally consistent data; an
+		// error here is a programming bug in this package, not user input.
+		panic("graph: internal generator bug: " + err.Error())
+	}
+	return g
+}
+
+// Empty returns the edgeless graph on n nodes.
+func Empty(n int) *Graph { return mustBuild(NewBuilder(n)) }
+
+// Path returns the path on n nodes (0-1-2-...-n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		b.AddEdge(u, u+1)
+	}
+	return mustBuild(b)
+}
+
+// Cycle returns the cycle on n >= 3 nodes.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return mustBuild(b)
+}
+
+// Star returns the star with centre 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return mustBuild(b)
+}
+
+// Grid returns the r x c grid graph.
+func Grid(r, c int) *Graph {
+	b := NewBuilder(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if i+1 < r {
+				b.AddEdge(at(i, j), at(i+1, j))
+			}
+			if j+1 < c {
+				b.AddEdge(at(i, j), at(i, j+1))
+			}
+		}
+	}
+	return mustBuild(b)
+}
+
+// Torus returns the r x c torus (grid with wraparound); r, c >= 3.
+func Torus(r, c int) (*Graph, error) {
+	if r < 3 || c < 3 {
+		return nil, fmt.Errorf("graph: torus needs r,c >= 3, got %dx%d", r, c)
+	}
+	b := NewBuilder(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			b.AddEdge(at(i, j), at((i+1)%r, j))
+			b.AddEdge(at(i, j), at(i, (j+1)%c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 0 || dim > 20 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [0,20]", dim)
+	}
+	n := 1 << uint(dim)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for k := 0; k < dim; k++ {
+			v := u ^ (1 << uint(k))
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBinaryTree returns the complete binary tree on n nodes using heap
+// indexing (node u has children 2u+1 and 2u+2).
+func CompleteBinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 1; u < n; u++ {
+		b.AddEdge(u, (u-1)/2)
+	}
+	return mustBuild(b)
+}
+
+// RandomTree returns a uniformly random recursive tree on n nodes: node u
+// attaches to a uniform node among 0..u-1.
+func RandomTree(n int, seed int64) *Graph {
+	rng := newRNG(seed)
+	b := NewBuilder(n)
+	for u := 1; u < n; u++ {
+		b.AddEdge(u, rng.IntN(u))
+	}
+	return mustBuild(b)
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs pendant leaves attached to every spine node.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	b := NewBuilder(n)
+	for u := 0; u+1 < spine; u++ {
+		b.AddEdge(u, u+1)
+	}
+	leaf := spine
+	for u := 0; u < spine; u++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(u, leaf)
+			leaf++
+		}
+	}
+	return mustBuild(b)
+}
+
+// Lollipop returns a clique of size k with a pendant path of tail nodes.
+func Lollipop(k, tail int) *Graph {
+	b := NewBuilder(k + tail)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	prev := 0
+	for t := 0; t < tail; t++ {
+		b.AddEdge(prev, k+t)
+		prev = k + t
+	}
+	return mustBuild(b)
+}
+
+// GNP returns an Erdős–Rényi random graph G(n, p) sampled with geometric
+// skipping, so the cost is proportional to the number of edges rather than
+// n^2.
+func GNP(n int, p float64, seed int64) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: GNP probability %v out of [0,1]", p)
+	}
+	b := NewBuilder(n)
+	if p > 0 {
+		rng := newRNG(seed)
+		// Iterate over the pairs (u,v), u<v, in lexicographic order, skipping
+		// ahead by geometric jumps.
+		u, v := 0, 0
+		for u < n-1 {
+			skip := 1
+			if p < 1 {
+				// Geometric(p) via inversion.
+				skip = int(fastGeometric(rng, p))
+			}
+			v += skip
+			for v >= n {
+				u++
+				if u >= n-1 {
+					// Row n-1 and beyond contain no pairs (u < v <= n-1).
+					u = n
+					break
+				}
+				v = u + 1 + (v - n)
+			}
+			if u >= n {
+				break
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// fastGeometric samples from Geometric(p) on {1,2,...}.
+func fastGeometric(rng *rand.Rand, p float64) int64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	g := int64(math.Log(u)/math.Log(1-p)) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes using the
+// configuration model with edge-swap repair. It requires n*d even and d < n.
+func RandomRegular(n, d int, seed int64) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: regular degree %d out of range for n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even, got n=%d d=%d", n, d)
+	}
+	rng := newRNG(seed)
+	stubs := make([]int32, 0, n*d)
+	for u := 0; u < n; u++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, int32(u))
+		}
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([]stubPair, 0, len(stubs)/2)
+		for i := 0; i+1 < len(stubs); i += 2 {
+			a, bb := stubs[i], stubs[i+1]
+			if a > bb {
+				a, bb = bb, a
+			}
+			pairs = append(pairs, stubPair{a, bb})
+		}
+		// Repair conflicts (self-loops and duplicates) by random swaps.
+		if repairPairs(rng, pairs) {
+			b := NewBuilder(n)
+			for _, p := range pairs {
+				b.AddEdge(int(p.a), int(p.b))
+			}
+			return b.Build()
+		}
+	}
+	return nil, fmt.Errorf("graph: random regular generation failed for n=%d d=%d", n, d)
+}
+
+// stubPair is one edge of a configuration-model pairing.
+type stubPair struct{ a, b int32 }
+
+// repairPairs removes self-loops and duplicate edges from a random pairing by
+// repeatedly swapping endpoints of conflicting pairs with random other pairs.
+// It reports whether a simple pairing was reached.
+func repairPairs(rng *rand.Rand, pairs []stubPair) bool {
+	key := func(a, b int32) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return int64(a)<<32 | int64(b)
+	}
+	count := make(map[int64]int, len(pairs))
+	bad := make([]int, 0)
+	for i, p := range pairs {
+		if p.a == p.b {
+			bad = append(bad, i)
+			continue
+		}
+		k := key(p.a, p.b)
+		count[k]++
+		if count[k] > 1 {
+			bad = append(bad, i)
+		}
+	}
+	for iter := 0; iter < 100*len(pairs)+1000 && len(bad) > 0; iter++ {
+		i := bad[len(bad)-1]
+		j := rng.IntN(len(pairs))
+		if i == j {
+			continue
+		}
+		pi, pj := pairs[i], pairs[j]
+		// Remove current contributions.
+		if pi.a != pi.b {
+			count[key(pi.a, pi.b)]--
+		}
+		if pj.a != pj.b {
+			count[key(pj.a, pj.b)]--
+		}
+		// Swap one endpoint.
+		ni := stubPair{pi.a, pj.b}
+		nj := stubPair{pj.a, pi.b}
+		ok := ni.a != ni.b && nj.a != nj.b
+		if ok {
+			ki, kj := key(ni.a, ni.b), key(nj.a, nj.b)
+			if count[ki] > 0 || count[kj] > 0 || ki == kj {
+				ok = false
+			}
+		}
+		if !ok {
+			// Restore and retry with another partner.
+			if pi.a != pi.b {
+				count[key(pi.a, pi.b)]++
+			}
+			if pj.a != pj.b {
+				count[key(pj.a, pj.b)]++
+			}
+			continue
+		}
+		pairs[i], pairs[j] = ni, nj
+		count[key(ni.a, ni.b)]++
+		count[key(nj.a, nj.b)]++
+		bad = bad[:len(bad)-1]
+		// j might have been in bad; rebuild lazily when exhausted.
+		if len(bad) == 0 {
+			bad = bad[:0]
+			for idx, p := range pairs {
+				if p.a == p.b {
+					bad = append(bad, idx)
+					continue
+				}
+				if count[key(p.a, p.b)] > 1 {
+					bad = append(bad, idx)
+				}
+			}
+		}
+	}
+	return len(bad) == 0
+}
+
+// ForestUnion returns the union of k uniformly random recursive forests on n
+// nodes; its arboricity is at most k. Each forest is a random recursive tree
+// over a random permutation of the nodes.
+func ForestUnion(n, k int, seed int64) *Graph {
+	rng := newRNG(seed)
+	b := NewBuilder(n)
+	perm := make([]int, n)
+	for f := 0; f < k; f++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for u := 1; u < n; u++ {
+			b.AddEdge(perm[u], perm[rng.IntN(u)])
+		}
+	}
+	return mustBuild(b)
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, re-assigning
+// identities 1..N to keep them unique.
+func DisjointUnion(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	off := 0
+	for _, g := range gs {
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < int(v) {
+					b.AddEdge(off+u, off+int(v))
+				}
+			}
+		}
+		off += g.N()
+	}
+	return mustBuild(b)
+}
+
+// WithShuffledIDs returns a copy of g whose identities are distinct values
+// drawn uniformly from [1, maxID]. It requires maxID >= N.
+func WithShuffledIDs(g *Graph, maxID int64, seed int64) (*Graph, error) {
+	n := g.N()
+	if maxID < int64(n) || maxID > MaxID {
+		return nil, fmt.Errorf("graph: maxID %d out of range [n=%d, %d]", maxID, n, MaxID)
+	}
+	rng := newRNG(seed)
+	used := make(map[int64]bool, n)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for {
+			id := rng.Int64N(maxID) + 1
+			if !used[id] {
+				used[id] = true
+				b.SetID(u, id)
+				break
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < int(v) {
+				b.AddEdge(u, int(v))
+			}
+		}
+	}
+	return b.Build()
+}

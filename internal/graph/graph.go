@@ -1,0 +1,230 @@
+// Package graph provides the static network topologies on which LOCAL-model
+// algorithms run: an immutable adjacency representation with unique node
+// identities, a builder, generators for the standard benchmark families, and
+// derived constructions (line graphs, graph powers, the clique product of
+// Section 5.1 of Korman–Sereni–Viennot, induced subgraphs).
+//
+// Nodes are indexed 0..N()-1; every node additionally carries a positive
+// 64-bit identity, unique within the graph, which is what the distributed
+// algorithms actually see. All methods on Graph are safe for concurrent use
+// because a built Graph is immutable.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxID is the largest identity a node of a base (non-derived) graph may
+// carry. Base identities are kept below 2^31 so that derived graphs (line
+// graphs, products) can pack a pair of identities into a single int64
+// identity; the packed identities themselves may be as large as MaxPackedID.
+const MaxID = int64(1)<<31 - 1
+
+// MaxPackedID bounds the identities of derived graphs (PackIDs output).
+const MaxPackedID = int64(1)<<62 - 1
+
+// Graph is an immutable simple undirected graph with unique node identities.
+// The zero value is an empty graph with no nodes.
+type Graph struct {
+	ids    []int64
+	adj    [][]int32 // adj[u] lists neighbour indices of u in increasing order
+	back   [][]int32 // back[u][k] = position of u in adj[v] for v = adj[u][k]
+	maxDeg int
+	edges  int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.ids) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for an empty graph).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// ID returns the identity of node u.
+func (g *Graph) ID(u int) int64 { return g.ids[u] }
+
+// MaxIDValue returns the largest identity in the graph, the parameter m of
+// the paper (0 for an empty graph).
+func (g *Graph) MaxIDValue() int64 {
+	var m int64
+	for _, id := range g.ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// Neighbors returns the neighbour indices of u, sorted increasingly. The
+// returned slice is shared with the graph's internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Neighbor returns the index of the k-th neighbour (port k) of u.
+func (g *Graph) Neighbor(u, k int) int { return int(g.adj[u][k]) }
+
+// BackPort returns the port under which u appears at its k-th neighbour:
+// if v = Neighbor(u, k), then Neighbor(v, BackPort(u, k)) == u.
+func (g *Graph) BackPort(u, k int) int { return int(g.back[u][k]) }
+
+// NeighborIDs appends the identities of u's neighbours, in port order, to dst
+// and returns the extended slice.
+func (g *Graph) NeighborIDs(dst []int64, u int) []int64 {
+	for _, v := range g.adj[u] {
+		dst = append(dst, g.ids[v])
+	}
+	return dst
+}
+
+// HasEdge reports whether nodes u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return int(a[i]) >= v })
+	return i < len(a) && int(a[i]) == v
+}
+
+// IndexOfID returns the node index carrying identity id, or -1.
+func (g *Graph) IndexOfID(id int64) int {
+	for u, x := range g.ids {
+		if x == id {
+			return u
+		}
+	}
+	return -1
+}
+
+// Edge is an undirected edge given by its endpoint indices with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Edges returns the edges of g in lexicographic order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.edges)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				es = append(es, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	return es
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// By default node u receives identity u+1; SetID overrides this.
+type Builder struct {
+	ids []int64
+	adj []map[int32]struct{}
+	bad []badEdge
+}
+
+// NewBuilder returns a builder for a graph on n nodes and no edges.
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		ids: make([]int64, n),
+		adj: make([]map[int32]struct{}, n),
+	}
+	for u := 0; u < n; u++ {
+		b.ids[u] = int64(u) + 1
+	}
+	return b
+}
+
+// SetID assigns identity id to node u.
+func (b *Builder) SetID(u int, id int64) { b.ids[u] = id }
+
+// AddEdge records the undirected edge {u, v}. Duplicate additions are
+// ignored; self-loops and out-of-range endpoints surface as errors at Build.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 || u >= len(b.ids) || v >= len(b.ids) || u == v {
+		// Record an impossible edge so Build reports the problem; storing it
+		// under a sentinel keeps AddEdge signature chainable.
+		if b.adj == nil {
+			return
+		}
+		b.markBad(u, v)
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[int32]struct{}, 4)
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[int32]struct{}, 4)
+	}
+	b.adj[u][int32(v)] = struct{}{}
+	b.adj[v][int32(u)] = struct{}{}
+}
+
+// badEdges collects invalid AddEdge calls for error reporting.
+type badEdge struct{ u, v int }
+
+var errBadEdge = errors.New("graph: invalid edge")
+
+func (b *Builder) markBad(u, v int) {
+	b.bad = append(b.bad, badEdge{u, v})
+}
+
+// Build validates the accumulated data and returns the immutable graph.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.bad) > 0 {
+		return nil, fmt.Errorf("%w: {%d,%d} (n=%d)", errBadEdge, b.bad[0].u, b.bad[0].v, len(b.ids))
+	}
+	n := len(b.ids)
+	seen := make(map[int64]int, n)
+	for u, id := range b.ids {
+		if id <= 0 || id > MaxPackedID {
+			return nil, fmt.Errorf("graph: node %d has out-of-range identity %d", u, id)
+		}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("graph: nodes %d and %d share identity %d", prev, u, id)
+		}
+		seen[id] = u
+	}
+	g := &Graph{
+		ids: append([]int64(nil), b.ids...),
+		adj: make([][]int32, n),
+	}
+	for u := 0; u < n; u++ {
+		nb := make([]int32, 0, len(b.adj[u]))
+		for v := range b.adj[u] {
+			nb = append(nb, v)
+		}
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		g.adj[u] = nb
+		if len(nb) > g.maxDeg {
+			g.maxDeg = len(nb)
+		}
+		g.edges += len(nb)
+	}
+	g.edges /= 2
+	g.back = backPorts(g.adj)
+	return g, nil
+}
+
+// backPorts computes, for every directed port (u,k), the reverse port index.
+func backPorts(adj [][]int32) [][]int32 {
+	back := make([][]int32, len(adj))
+	for u := range adj {
+		back[u] = make([]int32, len(adj[u]))
+	}
+	// pos[v] tracks how far we have scanned adj[v]; since adjacency lists are
+	// sorted, scanning nodes u in increasing order visits each directed edge
+	// (v,u) in increasing u, so a single cursor per node suffices after a
+	// direct search. Use binary search for simplicity and robustness.
+	for u := range adj {
+		for k, v := range adj[u] {
+			a := adj[v]
+			i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(u) })
+			back[u][k] = int32(i)
+		}
+	}
+	return back
+}

@@ -1,0 +1,430 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkSimple validates the structural invariants every built graph must
+// satisfy: sorted adjacency, symmetry, no self-loops, correct back ports.
+func checkSimple(t *testing.T, g *Graph) {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		nb := g.Neighbors(u)
+		for k, v := range nb {
+			if int(v) == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			if k > 0 && nb[k-1] >= v {
+				t.Fatalf("adjacency of %d not strictly sorted", u)
+			}
+			if !g.HasEdge(int(v), u) {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+			bp := g.BackPort(u, k)
+			if g.Neighbor(int(v), bp) != u {
+				t.Fatalf("back port wrong for (%d,%d)", u, k)
+			}
+		}
+	}
+	// Identities unique and positive.
+	seen := make(map[int64]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		id := g.ID(u)
+		if id <= 0 || seen[id] {
+			t.Fatalf("bad identity %d at node %d", id, u)
+		}
+		seen[id] = true
+	}
+	// Degree sum = 2|E|.
+	sum := 0
+	for u := 0; u < g.N(); u++ {
+		sum += g.Degree(u)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2*edges %d", sum, 2*g.NumEdges())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("self-loop not rejected")
+	}
+	b = NewBuilder(3)
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range edge not rejected")
+	}
+	b = NewBuilder(2)
+	b.SetID(0, 7)
+	b.SetID(1, 7)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate identity not rejected")
+	}
+	b = NewBuilder(1)
+	b.SetID(0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("non-positive identity not rejected")
+	}
+	b = NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, must be deduped
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cyc, err := Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := Torus(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnp, err := GNP(200, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := RandomRegular(100, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantN     int
+		wantEdges int // -1 to skip
+		wantMaxD  int // -1 to skip
+	}{
+		{"empty", Empty(5), 5, 0, 0},
+		{"path", Path(6), 6, 5, 2},
+		{"cycle", cyc, 10, 10, 2},
+		{"complete", Complete(7), 7, 21, 6},
+		{"star", Star(9), 9, 8, 8},
+		{"grid", Grid(3, 4), 12, 17, 4},
+		{"torus", torus, 20, 40, 4},
+		{"hypercube", cube, 16, 32, 4},
+		{"bintree", CompleteBinaryTree(15), 15, 14, 3},
+		{"randomtree", RandomTree(50, 1), 50, 49, -1},
+		{"caterpillar", Caterpillar(5, 3), 20, 19, 5},
+		{"lollipop", Lollipop(5, 4), 9, 14, -1},
+		{"gnp", gnp, 200, -1, -1},
+		{"regular", reg, 100, 200, 4},
+		{"forest", ForestUnion(60, 3, 3), 60, -1, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			checkSimple(t, tt.g)
+			if tt.g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", tt.g.N(), tt.wantN)
+			}
+			if tt.wantEdges >= 0 && tt.g.NumEdges() != tt.wantEdges {
+				t.Errorf("edges = %d, want %d", tt.g.NumEdges(), tt.wantEdges)
+			}
+			if tt.wantMaxD >= 0 && tt.g.MaxDegree() != tt.wantMaxD {
+				t.Errorf("maxdeg = %d, want %d", tt.g.MaxDegree(), tt.wantMaxD)
+			}
+		})
+	}
+}
+
+func TestRandomRegularIsRegular(t *testing.T) {
+	for _, d := range []int{2, 3, 6, 9} {
+		n := 60
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(n, d, int64(d))
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		checkSimple(t, g)
+		for u := 0; u < g.N(); u++ {
+			if g.Degree(u) != d {
+				t.Fatalf("d=%d: node %d has degree %d", d, u, g.Degree(u))
+			}
+		}
+	}
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	n, p := 400, 0.02
+	g, err := GNP(n, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, g)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.NumEdges())
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("GNP edge count %v too far from expectation %v", got, want)
+	}
+	// Determinism.
+	g2, err := GNP(n, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("GNP not deterministic for fixed seed")
+	}
+	// p=0 and p=1 extremes.
+	g0, err := GNP(50, 0, 1)
+	if err != nil || g0.NumEdges() != 0 {
+		t.Errorf("GNP(50,0) edges = %d, err = %v", g0.NumEdges(), err)
+	}
+	g1, err := GNP(50, 1, 1)
+	if err != nil || g1.NumEdges() != 50*49/2 {
+		t.Errorf("GNP(50,1) edges = %d, err = %v", g1.NumEdges(), err)
+	}
+}
+
+func TestForestUnionArboricity(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		g := ForestUnion(200, k, int64(k))
+		checkSimple(t, g)
+		_, hi := ArboricityBounds(g)
+		// Union of k forests has arboricity <= k, so degeneracy <= 2k-1.
+		d, _ := Degeneracy(g)
+		if d > 2*k-1 {
+			t.Errorf("k=%d: degeneracy %d > 2k-1", k, d)
+		}
+		if hi > 2*k-1 {
+			t.Errorf("k=%d: arboricity upper bound %d > 2k-1", k, hi)
+		}
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cyc, _ := Cycle(8)
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", Empty(4), 0},
+		{"path", Path(5), 1},
+		{"tree", RandomTree(40, 9), 1},
+		{"cycle", cyc, 2},
+		{"clique", Complete(6), 5},
+		{"grid", Grid(5, 5), 2},
+		{"star", Star(10), 1},
+	}
+	for _, tt := range tests {
+		if d, order := Degeneracy(tt.g); d != tt.want || len(order) != tt.g.N() {
+			t.Errorf("%s: degeneracy = %d (order %d nodes), want %d", tt.name, d, len(order), tt.want)
+		}
+	}
+}
+
+func TestComponentsAndDiameter(t *testing.T) {
+	g := DisjointUnion(Path(4), Complete(3), Empty(2))
+	checkSimple(t, g)
+	_, c := Components(g)
+	if c != 4 {
+		t.Errorf("components = %d, want 4", c)
+	}
+	if d := Diameter(g); d != -1 {
+		t.Errorf("diameter of disconnected graph = %d, want -1", d)
+	}
+	if d := Diameter(Path(5)); d != 4 {
+		t.Errorf("path diameter = %d, want 4", d)
+	}
+	if d := Diameter(Complete(5)); d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+	g2, _ := Cycle(8)
+	if d := Diameter(g2); d != 4 {
+		t.Errorf("cycle diameter = %d, want 4", d)
+	}
+}
+
+func TestLineGraph(t *testing.T) {
+	g := Grid(3, 3)
+	lg, edges, err := LineGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, lg)
+	if lg.N() != g.NumEdges() {
+		t.Fatalf("line graph has %d nodes, want %d", lg.N(), g.NumEdges())
+	}
+	// Brute-force adjacency: edges adjacent iff they share an endpoint.
+	for i := 0; i < lg.N(); i++ {
+		for j := i + 1; j < lg.N(); j++ {
+			share := edges[i].U == edges[j].U || edges[i].U == edges[j].V ||
+				edges[i].V == edges[j].U || edges[i].V == edges[j].V
+			if share != lg.HasEdge(i, j) {
+				t.Fatalf("line graph adjacency wrong for %v, %v", edges[i], edges[j])
+			}
+		}
+	}
+	// Identities are packed endpoint identities.
+	for i, e := range edges {
+		a, b := g.ID(int(e.U)), g.ID(int(e.V))
+		if a > b {
+			a, b = b, a
+		}
+		if lg.ID(i) != PackIDs(a, b) {
+			t.Fatalf("line graph identity mismatch at %d", i)
+		}
+	}
+	// Max degree of L(G) is at most 2(Δ-1).
+	if lg.MaxDegree() > 2*(g.MaxDegree()-1) {
+		t.Errorf("line graph max degree %d > 2(Δ-1) = %d", lg.MaxDegree(), 2*(g.MaxDegree()-1))
+	}
+}
+
+func TestPower(t *testing.T) {
+	g := Path(7)
+	p2, err := Power(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, p2)
+	// Brute force: adjacency iff BFS distance <= 2.
+	for u := 0; u < g.N(); u++ {
+		dist := BFSDistances(g, u)
+		for v := 0; v < g.N(); v++ {
+			want := u != v && dist[v] >= 1 && dist[v] <= 2
+			if p2.HasEdge(u, v) != want {
+				t.Fatalf("power adjacency wrong for %d,%d", u, v)
+			}
+		}
+	}
+	if _, err := Power(g, 0); err == nil {
+		t.Error("Power(k=0) not rejected")
+	}
+	// Power of a cycle.
+	c, _ := Cycle(9)
+	p3, err := Power(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 9; u++ {
+		if p3.Degree(u) != 6 {
+			t.Fatalf("cycle^3 degree %d at %d, want 6", p3.Degree(u), u)
+		}
+	}
+}
+
+func TestProductDegPlusOne(t *testing.T) {
+	g := Path(4)
+	pg, copies, err := ProductDegPlusOne(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, pg)
+	// Size: sum of deg+1 = 2E + N.
+	want := 2*g.NumEdges() + g.N()
+	if pg.N() != want {
+		t.Fatalf("product has %d nodes, want %d", pg.N(), want)
+	}
+	// Check adjacency semantics by brute force.
+	for a := 0; a < pg.N(); a++ {
+		for b := a + 1; b < pg.N(); b++ {
+			ca, cb := copies[a], copies[b]
+			var wantAdj bool
+			switch {
+			case ca.V == cb.V:
+				wantAdj = true // same clique
+			case g.HasEdge(int(ca.V), int(cb.V)):
+				limit := int32(min(g.Degree(int(ca.V)), g.Degree(int(cb.V))) + 1)
+				wantAdj = ca.I == cb.I && ca.I <= limit
+			}
+			if pg.HasEdge(a, b) != wantAdj {
+				t.Fatalf("product adjacency wrong for %+v,%+v", ca, cb)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Grid(4, 4)
+	keep := make([]bool, g.N())
+	for u := 0; u < g.N(); u += 2 {
+		keep[u] = true
+	}
+	sg, orig, err := InducedSubgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, sg)
+	if len(orig) != sg.N() {
+		t.Fatalf("orig mapping length %d != %d", len(orig), sg.N())
+	}
+	for i := 0; i < sg.N(); i++ {
+		if sg.ID(i) != g.ID(int(orig[i])) {
+			t.Fatal("identity not preserved")
+		}
+		for j := i + 1; j < sg.N(); j++ {
+			if sg.HasEdge(i, j) != g.HasEdge(int(orig[i]), int(orig[j])) {
+				t.Fatal("induced adjacency wrong")
+			}
+		}
+	}
+	if _, _, err := InducedSubgraph(g, make([]bool, 3)); err == nil {
+		t.Error("mask length mismatch not rejected")
+	}
+}
+
+func TestWithShuffledIDs(t *testing.T) {
+	g := Grid(5, 5)
+	h, err := WithShuffledIDs(g, 10_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSimple(t, h)
+	if h.MaxIDValue() <= int64(g.N()) {
+		t.Log("shuffled ids happen to be small; acceptable but unlikely")
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) != h.HasEdge(u, v) {
+				t.Fatal("shuffling ids changed adjacency")
+			}
+		}
+	}
+	if _, err := WithShuffledIDs(g, 3, 1); err == nil {
+		t.Error("maxID < n not rejected")
+	}
+}
+
+func TestPackIDs(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := int64(a%(1<<31-1)) + 1
+		y := int64(b%(1<<31-1)) + 1
+		ga, gb := UnpackIDs(PackIDs(x, y))
+		return ga == x && gb == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := Grid(3, 3)
+	es := g.Edges()
+	if len(es) != g.NumEdges() {
+		t.Fatalf("Edges() returned %d, want %d", len(es), g.NumEdges())
+	}
+	for i, e := range es {
+		if e.U >= e.V {
+			t.Fatal("edge not canonical")
+		}
+		if i > 0 && !(es[i-1].U < e.U || (es[i-1].U == e.U && es[i-1].V < e.V)) {
+			t.Fatal("edges not sorted")
+		}
+	}
+}

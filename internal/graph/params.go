@@ -1,0 +1,125 @@
+package graph
+
+// Degeneracy returns the degeneracy of g (the maximum, over all subgraphs,
+// of the minimum degree), computed by the standard bucket-peeling algorithm
+// in O(n + m) time, together with a peeling order witnessing it.
+//
+// Degeneracy d brackets the arboricity a of the paper's Table 1:
+// ceil((d+1)/2) <= a <= d, so it serves as the computable stand-in whenever
+// an experiment needs "the" arboricity of a generated graph.
+func Degeneracy(g *Graph) (int, []int32) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket queue over degrees.
+	buckets := make([][]int32, maxDeg+1)
+	for u := 0; u < n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], int32(u))
+	}
+	removed := make([]bool, n)
+	order := make([]int32, 0, n)
+	degeneracy := 0
+	cur := 0
+	for len(order) < n {
+		for cur < len(buckets) && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur >= len(buckets) {
+			break
+		}
+		u := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[u] || deg[u] != cur {
+			// Stale entry: the node moved to a lower bucket.
+			continue
+		}
+		removed[u] = true
+		order = append(order, u)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if !removed[v] {
+				deg[v]--
+				buckets[deg[v]] = append(buckets[deg[v]], v)
+				if deg[v] < cur {
+					cur = deg[v]
+				}
+			}
+		}
+	}
+	return degeneracy, order
+}
+
+// ArboricityBounds returns provable lower and upper bounds on the arboricity
+// of g derived from its degeneracy d: (d+1)/2 <= a <= d (and a = 0 for an
+// edgeless graph).
+func ArboricityBounds(g *Graph) (lo, hi int) {
+	if g.NumEdges() == 0 {
+		return 0, 0
+	}
+	d, _ := Degeneracy(g)
+	lo = (d + 2) / 2
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, max(d, 1)
+}
+
+// Components labels the connected components of g and returns the label
+// slice along with the number of components.
+func Components(g *Graph) ([]int32, int) {
+	n := g.N()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	count := int32(0)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = count
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(int(u)) {
+				if label[v] < 0 {
+					label[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return label, int(count)
+}
+
+// Diameter returns the maximum eccentricity over all nodes of a connected
+// graph, or -1 if g is disconnected or empty. It runs a BFS from every node
+// and is intended for tests and small benchmark graphs.
+func Diameter(g *Graph) int {
+	if g.N() == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		dist := BFSDistances(g, u)
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

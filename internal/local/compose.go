@@ -1,0 +1,300 @@
+package local
+
+// This file implements the Section 2 machinery of the paper: sequential
+// composition A1;A2 of local algorithms under non-simultaneous wake-up via
+// the α-synchronizer, plus round restriction ("the algorithm A restricted to
+// i rounds") and a masked sub-execution helper shared by the transformer
+// wrappers.
+//
+// Composition semantics. Each node executes the stages one after the other,
+// advancing through per-stage local rounds. A node may execute local round t
+// of stage s only once every neighbour has executed round t-1 of stage s or
+// advanced past it (the α-synchronizer rule); whenever a node executes a
+// step it sends an envelope carrying its position to every neighbour, so a
+// blocked node always knows when to proceed. The node with the globally
+// minimal position can always step, so composition never deadlocks, and the
+// standard induction yields Observation 2.1: the composed running time is at
+// most the sum of the stage running times.
+
+// Stage is one algorithm in a composition.
+type Stage struct {
+	// Algo is the algorithm to run in this stage.
+	Algo Algorithm
+	// MakeInput derives this stage's node input from the node's original
+	// input and the previous stage's output at this node. If nil, stage 0
+	// uses the original input and later stages use the previous output.
+	MakeInput func(orig, prev any) any
+}
+
+// pos is a (stage, round) position; positions are ordered lexicographically.
+type pos struct{ s, t int }
+
+func (p pos) less(q pos) bool { return p.s < q.s || (p.s == q.s && p.t < q.t) }
+
+// composeEnv is the envelope exchanged by composed nodes.
+type composeEnv struct {
+	at      pos
+	payload Message
+	allDone bool
+}
+
+// Compose returns the sequential composition of the given stages as a single
+// algorithm (the paper's A1;A2;...;Ak). Every stage algorithm must terminate
+// at every node on its own.
+func Compose(name string, stages ...Stage) Algorithm {
+	return AlgorithmFunc{
+		AlgoName: name,
+		NewNode: func(info Info) Node {
+			n := &composeNode{info: info, stages: stages}
+			n.seen = make([]pos, info.Degree)
+			for p := range n.seen {
+				n.seen[p] = pos{-1, -1}
+			}
+			n.nbDone = make([]bool, info.Degree)
+			n.buf = make([]map[pos]Message, info.Degree)
+			for p := range n.buf {
+				n.buf[p] = make(map[pos]Message)
+			}
+			n.startStage()
+			return n
+		},
+	}
+}
+
+type composeNode struct {
+	info   Info
+	stages []Stage
+
+	at      pos // next step to execute
+	inner   Node
+	prevOut any
+
+	seen   []pos
+	nbDone []bool
+	buf    []map[pos]Message
+}
+
+// startStage instantiates the state machine for the current stage.
+func (n *composeNode) startStage() {
+	st := n.stages[n.at.s]
+	input := n.info.Input
+	if st.MakeInput != nil {
+		input = st.MakeInput(n.info.Input, n.prevOut)
+	} else if n.at.s > 0 {
+		input = n.prevOut
+	}
+	info := n.info
+	info.Input = input
+	info.Rand = DeriveRand(int64(n.info.Rand.Uint64()), n.info.ID, uint64(n.at.s))
+	n.inner = st.Algo.New(info)
+}
+
+func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
+	for p, m := range recv {
+		if m == nil {
+			continue
+		}
+		env, ok := m.(composeEnv)
+		if !ok {
+			continue // foreign message; composed stages only understand envelopes
+		}
+		if n.seen[p].less(env.at) {
+			n.seen[p] = env.at
+		}
+		if env.allDone {
+			n.nbDone[p] = true
+		}
+		if env.payload != nil {
+			n.buf[p][env.at] = env.payload
+		}
+	}
+	// α-synchronizer rule: step (s,t) requires every neighbour at >= (s,t-1).
+	if n.at.t > 0 {
+		need := pos{n.at.s, n.at.t - 1}
+		for p := range n.seen {
+			if !n.nbDone[p] && n.seen[p].less(need) {
+				return nil, false
+			}
+		}
+	}
+	innerRecv := make([]Message, n.info.Degree)
+	if n.at.t > 0 {
+		key := pos{n.at.s, n.at.t - 1}
+		for p := range innerRecv {
+			if msg, ok := n.buf[p][key]; ok {
+				innerRecv[p] = msg
+				delete(n.buf[p], key)
+			}
+		}
+	}
+	send, done := n.inner.Round(n.at.t, innerRecv)
+	stepped := n.at
+	n.at.t++
+	finished := false
+	if done {
+		n.prevOut = n.inner.Output()
+		n.at = pos{stepped.s + 1, 0}
+		if n.at.s < len(n.stages) {
+			n.dropStaleBuffers(stepped.s)
+			n.startStage()
+		} else {
+			finished = true
+		}
+	}
+	envs := make([]Message, n.info.Degree)
+	for p := 0; p < n.info.Degree; p++ {
+		var payload Message
+		if len(send) > 0 {
+			payload = send[p]
+		}
+		envs[p] = composeEnv{at: stepped, payload: payload, allDone: finished}
+	}
+	return envs, finished
+}
+
+// dropStaleBuffers discards buffered messages from stages <= s, which can no
+// longer be consumed.
+func (n *composeNode) dropStaleBuffers(s int) {
+	for p := range n.buf {
+		for k := range n.buf[p] {
+			if k.s <= s {
+				delete(n.buf[p], k)
+			}
+		}
+	}
+}
+
+func (n *composeNode) Output() any { return n.prevOut }
+
+var _ Node = (*composeNode)(nil)
+
+// WithWakeup returns algorithm a executed under a non-simultaneous wake-up
+// pattern: node with identity id stays asleep for delay(id) composed rounds
+// before starting a. Sleeping nodes block their neighbours exactly as in the
+// paper's asynchronous wake-up model; messages that arrive early are
+// buffered by the synchronizer.
+func WithWakeup(a Algorithm, delay func(id int64) int) Algorithm {
+	sleeper := AlgorithmFunc{
+		AlgoName: "sleep",
+		NewNode: func(info Info) Node {
+			return &sleepNode{remaining: delay(info.ID)}
+		},
+	}
+	return Compose("wakeup("+a.Name()+")", Stage{Algo: sleeper}, Stage{
+		Algo: a,
+		// The algorithm still sees its original input, not the sleep output.
+		MakeInput: func(orig, _ any) any { return orig },
+	})
+}
+
+type sleepNode struct{ remaining int }
+
+func (s *sleepNode) Round(r int, _ []Message) ([]Message, bool) {
+	return nil, r >= s.remaining
+}
+
+func (s *sleepNode) Output() any { return nil }
+
+// RestrictRounds returns algorithm a restricted to the given number of
+// rounds (Section 2): after budget rounds the node terminates with whatever
+// tentative output a has produced. A non-positive budget terminates
+// immediately with a nil output.
+func RestrictRounds(a Algorithm, budget int) Algorithm {
+	return AlgorithmFunc{
+		AlgoName: a.Name() + "|restricted",
+		NewNode: func(info Info) Node {
+			return &restrictNode{inner: a.New(info), budget: budget}
+		},
+	}
+}
+
+type restrictNode struct {
+	inner  Node
+	budget int
+	done   bool
+	out    any
+}
+
+func (n *restrictNode) Round(r int, recv []Message) ([]Message, bool) {
+	if n.budget <= 0 {
+		return nil, true
+	}
+	var send []Message
+	if !n.done {
+		var innerDone bool
+		send, innerDone = n.inner.Round(r, recv)
+		if innerDone {
+			n.done = true
+			n.out = n.inner.Output()
+		}
+	}
+	if n.done || r+1 >= n.budget {
+		if !n.done {
+			n.out = n.inner.Output()
+		}
+		return send, true
+	}
+	return send, false
+}
+
+func (n *restrictNode) Output() any { return n.out }
+
+// Subrun drives an inner Node over a masked subset of a host node's ports,
+// maintaining the inner round counter. It is the building block used by the
+// transformer wrappers (induced-subgraph execution) and by algorithms that
+// operate on one layer of a degree partition.
+type Subrun struct {
+	inner  Node
+	ports  []int
+	t      int
+	done   bool
+	output any
+}
+
+// NewSubrun creates a sub-execution of inner seeing only the given host
+// ports (in inner-port order).
+func NewSubrun(inner Node, ports []int) *Subrun {
+	return &Subrun{inner: inner, ports: ports}
+}
+
+// Done reports whether the inner node has terminated.
+func (s *Subrun) Done() bool { return s.done }
+
+// Output returns the inner node's current output (its final output once
+// Done; its tentative output otherwise, per the restriction convention).
+func (s *Subrun) Output() any {
+	if s.done {
+		return s.output
+	}
+	return s.inner.Output()
+}
+
+// Rounds returns how many inner rounds have been executed.
+func (s *Subrun) Rounds() int { return s.t }
+
+// Step executes one inner round. recv is the host's full inbox (indexed by
+// host port); hostDeg is the host degree. The returned slice is nil or
+// host-degree-sized with the inner messages scattered to their host ports.
+func (s *Subrun) Step(recv []Message, hostDeg int) []Message {
+	if s.done {
+		return nil
+	}
+	innerRecv := make([]Message, len(s.ports))
+	for i, p := range s.ports {
+		innerRecv[i] = recv[p]
+	}
+	send, done := s.inner.Round(s.t, innerRecv)
+	s.t++
+	if done {
+		s.done = true
+		s.output = s.inner.Output()
+	}
+	if len(send) == 0 {
+		return nil
+	}
+	out := make([]Message, hostDeg)
+	for i, p := range s.ports {
+		out[p] = send[i]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package local
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/unilocal/unilocal/internal/graph"
+)
+
+// TestComposeObservation21Property is the property-test form of
+// Observation 2.1: for random graphs, random stage lengths and random
+// wake-up delays, the composed running time never exceeds the sum of the
+// stage times plus the wake-up horizon (with the +1-per-stage hand-off
+// slack of the synchronizer).
+func TestComposeObservation21Property(t *testing.T) {
+	f := func(seed int64, s1, s2, s3 uint8, dmax uint8) bool {
+		g, err := graph.GNP(40, 0.1, seed)
+		if err != nil {
+			return false
+		}
+		k1, k2, k3 := int(s1%9)+1, int(s2%9)+1, int(s3%9)+1
+		horizon := int(dmax%13) + 1
+		rng := rand.New(rand.NewPCG(uint64(seed), 99))
+		delays := make(map[int64]int, g.N())
+		maxDelay := 0
+		for u := 0; u < g.N(); u++ {
+			d := rng.IntN(horizon)
+			delays[g.ID(u)] = d
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+		comp := WithWakeup(
+			Compose("three", Stage{Algo: idleFor(k1)}, Stage{Algo: idleFor(k2)}, Stage{Algo: idleFor(k3)}),
+			func(id int64) int { return delays[id] },
+		)
+		res, err := Run(g, comp, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Sleep stage takes maxDelay+1 rounds; each composed stage hands off
+		// within its own budget under lockstep wake-ups.
+		bound := (maxDelay + 1) + k1 + k2 + k3
+		return res.Rounds <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComposeDeepPipeline chains many message-sensitive stages: each stage
+// floods from the minimum identity and verifies distances, so any
+// misalignment of per-stage rounds surfaces as a wrong output.
+func TestComposeDeepPipeline(t *testing.T) {
+	g := graph.Caterpillar(12, 1)
+	stages := make([]Stage, 0, 6)
+	for i := 0; i < 6; i++ {
+		stages = append(stages, Stage{
+			Algo: flood,
+			// Every stage starts fresh from the original input.
+			MakeInput: func(orig, _ any) any { return orig },
+		})
+	}
+	comp := WithWakeup(Compose("deep", stages...), func(id int64) int { return int(id) % 5 })
+	res, err := Run(g, comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.IndexOfID(1)
+	want := graph.BFSDistances(g, src)
+	for u := 0; u < g.N(); u++ {
+		if res.Outputs[u] != want[u] {
+			t.Fatalf("node %d: stage-6 flood distance %v, want %d", u, res.Outputs[u], want[u])
+		}
+	}
+}
+
+// TestComposeBufferingBoundedLead checks that a node racing many rounds
+// ahead of a slow neighbour (long sleep) still delivers: buffered messages
+// must survive until the laggard consumes them.
+func TestComposeBufferingBoundedLead(t *testing.T) {
+	// A path where one end sleeps for a long time.
+	g := graph.Path(6)
+	comp := WithWakeup(idExchange, func(id int64) int {
+		if id == 1 {
+			return 40
+		}
+		return 0
+	})
+	res, err := Run(g, comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, o := range res.Outputs {
+		if o != true {
+			t.Fatalf("node %d saw misaligned messages with a 40-round laggard", u)
+		}
+	}
+	if res.Rounds < 40 {
+		t.Fatalf("run finished before the laggard woke (%d rounds)", res.Rounds)
+	}
+}
+
+// TestRestrictInsideCompose exercises restriction as a composed stage: the
+// first stage is truncated mid-flood, the second stage must still run
+// cleanly on the (arbitrary) truncated outputs.
+func TestRestrictInsideCompose(t *testing.T) {
+	g := graph.Path(10)
+	comp := Compose("truncated-then-full",
+		Stage{Algo: RestrictRounds(flood, 3)},
+		Stage{Algo: flood, MakeInput: func(orig, _ any) any { return orig }},
+	)
+	res, err := Run(g, comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		if res.Outputs[u] != u {
+			t.Fatalf("node %d: %v, want %d", u, res.Outputs[u], u)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/unilocal/unilocal/internal/graph"
+)
+
+// DefaultMaxRounds is the safety cap on simulated rounds; exceeding it means
+// the algorithm failed to terminate (for a correct transformer this implies
+// a broken running-time bound, which the cap surfaces as an error instead of
+// an endless loop).
+const DefaultMaxRounds = 1 << 21
+
+// ErrMaxRounds reports that a simulation was cut off before all nodes
+// terminated.
+var ErrMaxRounds = errors.New("local: max rounds exceeded before termination")
+
+// Options configures a simulation run. The zero value selects defaults:
+// seed 0, DefaultMaxRounds, parallel execution across GOMAXPROCS workers.
+type Options struct {
+	// Seed drives all node randomness deterministically.
+	Seed int64
+	// MaxRounds caps the simulation; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Sequential forces single-threaded execution. Results are identical to
+	// parallel execution; this is exercised by tests and useful for tracing.
+	Sequential bool
+	// Workers overrides the worker count for parallel execution; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	// Outputs holds each node's final output, indexed like the graph.
+	Outputs []any
+	// HaltRounds[u] is the 0-based round index in which node u terminated.
+	HaltRounds []int
+	// Rounds is the running time of the execution: the number of rounds
+	// until every node had terminated (max HaltRounds + 1).
+	Rounds int
+	// Messages is the total number of (non-nil) messages delivered.
+	Messages int64
+}
+
+// Run simulates algorithm a on graph g until every node has terminated and
+// returns the outputs and round statistics. All nodes wake up simultaneously
+// at round 0, per the paper's Section 2 reduction (non-simultaneous wake-up
+// is handled by Compose/WithWakeup, which are themselves Algorithms).
+func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
+	n := g.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Sequential || workers > n {
+		workers = 1
+	}
+
+	states := make([]Node, n)
+	inbox := make([][]Message, n)
+	next := make([][]Message, n)
+	halted := make([]bool, n)
+	haltRounds := make([]int, n)
+	msgs := make([]int64, n)
+	outputs := make([]any, n)
+	for u := 0; u < n; u++ {
+		deg := g.Degree(u)
+		info := Info{
+			ID:        g.ID(u),
+			Degree:    deg,
+			Neighbors: g.NeighborIDs(make([]int64, 0, deg), u),
+			Rand:      DeriveRand(opts.Seed, g.ID(u), 0),
+		}
+		states[u] = a.New(info)
+		inbox[u] = make([]Message, deg)
+		next[u] = make([]Message, deg)
+	}
+
+	live := n
+	runErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < maxRounds && live > 0; r++ {
+		step := func(w, lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				if halted[u] {
+					continue
+				}
+				send, done := states[u].Round(r, inbox[u])
+				if len(send) != 0 && len(send) != g.Degree(u) {
+					runErrs[w] = fmt.Errorf("local: %s: node %d sent %d messages with degree %d",
+						a.Name(), u, len(send), g.Degree(u))
+					return
+				}
+				for k := range inbox[u] {
+					inbox[u][k] = nil
+				}
+				for k, msg := range send {
+					if msg != nil {
+						v := g.Neighbor(u, k)
+						next[v][g.BackPort(u, k)] = msg
+						msgs[u]++
+					}
+				}
+				if done {
+					halted[u] = true
+					haltRounds[u] = r
+					outputs[u] = states[u].Output()
+				}
+			}
+		}
+		if workers == 1 {
+			wg.Add(1)
+			step(0, 0, n)
+		} else {
+			chunk := (n + workers - 1) / workers
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := min(lo+chunk, n)
+				if lo >= hi {
+					wg.Done()
+					continue
+				}
+				go step(w, lo, hi)
+			}
+		}
+		wg.Wait()
+		for _, err := range runErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		inbox, next = next, inbox
+		live = 0
+		for u := 0; u < n; u++ {
+			if !halted[u] {
+				live++
+			}
+		}
+	}
+	if live > 0 {
+		return nil, fmt.Errorf("%w: algorithm %q, %d of %d nodes still running after %d rounds",
+			ErrMaxRounds, a.Name(), live, n, maxRounds)
+	}
+	res := &Result{
+		Outputs:    outputs,
+		HaltRounds: haltRounds,
+		Rounds:     0,
+	}
+	for u := 0; u < n; u++ {
+		if haltRounds[u]+1 > res.Rounds {
+			res.Rounds = haltRounds[u] + 1
+		}
+		res.Messages += msgs[u]
+	}
+	if n == 0 {
+		res.Rounds = 0
+	}
+	return res, nil
+}
