@@ -212,9 +212,14 @@ func BenchmarkTable1_RulingSet(b *testing.B) {
 }
 
 // BenchmarkTable1_LubyMIS reproduces the uniform randomized MIS row (E8):
-// rounds grow logarithmically with n.
+// rounds grow logarithmically with n. Under -short (the CI perf smoke) the
+// largest instance is dropped.
 func BenchmarkTable1_LubyMIS(b *testing.B) {
-	for _, n := range []int{1024, 4096, 16384} {
+	sizes := []int{1024, 4096, 16384}
+	if testing.Short() {
+		sizes = sizes[:2]
+	}
+	for _, n := range sizes {
 		g := benchGNP(b, n, 8)
 		b.Run(fmt.Sprintf("gnp8/n=%d", n), func(b *testing.B) {
 			var res *local.Result

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large]
+//	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large] [-workers N]
 package main
 
 import (
@@ -30,10 +30,16 @@ func main() {
 }
 
 var (
-	flagExp   = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
-	flagSeed  = flag.Int64("seed", 1, "simulation seed")
-	flagLarge = flag.Bool("large", false, "use larger size sweeps")
+	flagExp     = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
+	flagSeed    = flag.Int64("seed", 1, "simulation seed")
+	flagLarge   = flag.Bool("large", false, "use larger size sweeps")
+	flagWorkers = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 )
+
+// simOpts returns the engine options for one run at the given seed.
+func simOpts(seed int64) local.Options {
+	return local.Options{Seed: seed, Workers: *flagWorkers}
+}
 
 func run() error {
 	flag.Parse()
@@ -68,11 +74,11 @@ func sizes(small []int, large []int) []int {
 
 // row runs baseline and uniform on one graph and prints a table row.
 func row(label string, g *graph.Graph, baseline, uniform local.Algorithm, check func([]any) error) error {
-	nu, err := local.Run(g, baseline, local.Options{Seed: *flagSeed})
+	nu, err := local.Run(g, baseline, simOpts(*flagSeed))
 	if err != nil {
 		return err
 	}
-	un, err := local.Run(g, uniform, local.Options{Seed: *flagSeed})
+	un, err := local.Run(g, uniform, simOpts(*flagSeed))
 	if err != nil {
 		return err
 	}
@@ -241,7 +247,7 @@ func e8() error {
 		}
 		total := 0
 		for seed := int64(0); seed < 5; seed++ {
-			res, err := local.Run(g, luby.New(), local.Options{Seed: seed})
+			res, err := local.Run(g, luby.New(), simOpts(seed))
 			if err != nil {
 				return err
 			}
@@ -278,7 +284,7 @@ func e9() error {
 	} {
 		g := fam.g
 		rounds := func(a local.Algorithm) (int, error) {
-			res, err := local.Run(g, a, local.Options{Seed: *flagSeed})
+			res, err := local.Run(g, a, simOpts(*flagSeed))
 			if err != nil {
 				return 0, err
 			}
@@ -315,7 +321,7 @@ func e10() error {
 		if err != nil {
 			return err
 		}
-		res, err := local.Run(g, uniform, local.Options{Seed: *flagSeed})
+		res, err := local.Run(g, uniform, simOpts(*flagSeed))
 		if err != nil {
 			return err
 		}
@@ -340,13 +346,13 @@ func e13() error {
 	if err != nil {
 		return err
 	}
-	plain, err := local.Run(g, luby.New(), local.Options{Seed: *flagSeed})
+	plain, err := local.Run(g, luby.New(), simOpts(*flagSeed))
 	if err != nil {
 		return err
 	}
 	maxDelay := 16
 	delayed := local.WithWakeup(luby.New(), func(id int64) int { return int(id % 17) })
-	res, err := local.Run(g, delayed, local.Options{Seed: *flagSeed})
+	res, err := local.Run(g, delayed, simOpts(*flagSeed))
 	if err != nil {
 		return err
 	}

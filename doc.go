@@ -13,9 +13,12 @@
 // MIS for bounded arboricity, sequential greedy MIS, line-graph matching
 // and edge coloring, and ruling sets.
 //
-// See DESIGN.md for the system inventory and the per-experiment index,
-// EXPERIMENTS.md for measured reproductions of Table 1 and Figure 1, and
-// the examples/ directory for runnable entry points. The implementation
-// lives under internal/; the benchmark harness (bench_test.go, cmd/) is the
-// top-level interface for regenerating the paper's evaluation.
+// See DESIGN.md for the system inventory, the simulation-engine
+// architecture (CSR graph storage, flat message lanes, active-node
+// frontier, persistent worker pool — DESIGN.md §2) and the per-experiment
+// index (§3), EXPERIMENTS.md for measured reproductions of Table 1 and
+// Figure 1, and the examples/ directory for runnable entry points. The
+// implementation lives under internal/; the benchmark harness
+// (bench_test.go, cmd/) is the top-level interface for regenerating the
+// paper's evaluation.
 package unilocal

@@ -1,0 +1,3 @@
+module github.com/unilocal/unilocal
+
+go 1.24

@@ -74,13 +74,29 @@ func BoundM(m int) int { return coloralgo.BoundM(m) }
 // membership). With bad guesses some nodes may stay unlayered and output
 // false; termination within Rounds(ã, ñ, m̃) is unconditional.
 func New(aHat, nHat int, mHat int64) local.Algorithm {
+	// The round geometry (layer count, window length, coloring rounds) is a
+	// function of the guesses only; computing it once here instead of every
+	// Round call keeps the per-node round cost constant (the schedule
+	// helpers behind windowRounds rebuild the full Linial/halving schedule).
+	sched := schedule{
+		layers:      Layers(nHat),
+		window:      windowRounds(aHat, mHat),
+		colorRounds: coloralgo.DeltaPlusOneRounds(layerDegree(aHat), mHat),
+	}
 	return local.AlgorithmFunc{
 		AlgoName: fmt.Sprintf("arbmis(ã=%d,ñ=%d)", aHat, nHat),
 		NewNode: func(info local.Info) local.Node {
-			return &node{info: info, aHat: aHat, nHat: nHat, mHat: mHat,
+			return &node{info: info, aHat: aHat, nHat: nHat, mHat: mHat, sched: sched,
 				activeDeg: info.Degree, layer: -1}
 		},
 	}
+}
+
+// schedule is the precomputed round geometry shared by all nodes.
+type schedule struct {
+	layers      int // H-partition peeling rounds
+	window      int // rounds per per-layer window
+	colorRounds int // rounds of the masked coloring inside a window
 }
 
 // Message types of the protocol.
@@ -103,10 +119,11 @@ func encodeStatus(layer int, undecided, in bool) int {
 }
 
 type node struct {
-	info local.Info
-	aHat int
-	nHat int
-	mHat int64
+	info  local.Info
+	aHat  int
+	nHat  int
+	mHat  int64
+	sched schedule
 
 	// Layering state.
 	activeDeg int
@@ -123,11 +140,11 @@ type node struct {
 }
 
 func (n *node) Round(r int, recv []local.Message) ([]local.Message, bool) {
-	l := Layers(n.nHat)
+	l := n.sched.layers
 	if r < l {
 		return n.peel(r, recv), false
 	}
-	w := windowRounds(n.aHat, n.mHat)
+	w := n.sched.window
 	window := (r - l) / w
 	offset := (r - l) % w
 	if window >= l {
@@ -156,7 +173,7 @@ func (n *node) peel(r int, recv []local.Message) []local.Message {
 // windowRound executes one round of the window for the given layer.
 func (n *node) windowRound(layer, offset int, recv []local.Message) []local.Message {
 	d := layerDegree(n.aHat)
-	colorRounds := coloralgo.DeltaPlusOneRounds(d, n.mHat)
+	colorRounds := n.sched.colorRounds
 	switch {
 	case offset == 0:
 		// Status exchange; also pick up joins announced in the previous

@@ -122,8 +122,14 @@ func TestArbMISProperty(t *testing.T) {
 func TestArbMISFasterThanDeltaOnStars(t *testing.T) {
 	// The defining advantage of the arboricity engine: on a star (a = 1,
 	// Δ = n-1) its O(log n (ã log ã + log* m̃)) schedule beats any Ω(Δ)
-	// algorithm once n is large enough.
-	g := graph.Star(4000)
+	// algorithm once n is large enough. The Δ/3 margin needs n ≈ 4000 (the
+	// schedule plateaus near 920 rounds); -short keeps the assertion with a
+	// Δ/2 margin at half the size.
+	n, margin := 4000, 3
+	if testing.Short() {
+		n, margin = 2500, 2
+	}
+	g := graph.Star(n)
 	res, err := local.Run(g, New(1, g.N(), g.MaxIDValue()), local.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +141,7 @@ func TestArbMISFasterThanDeltaOnStars(t *testing.T) {
 	if err := problems.ValidMIS(g, in); err != nil {
 		t.Fatal(err)
 	}
-	if res.Rounds > g.MaxDegree()/3 {
+	if res.Rounds > g.MaxDegree()/margin {
 		t.Errorf("arboricity MIS on a star took %d rounds (should be ≪ Δ = %d)", res.Rounds, g.MaxDegree())
 	}
 }

@@ -8,13 +8,22 @@ import (
 	"github.com/unilocal/unilocal/internal/problems"
 )
 
+// sweep returns the full size sweep, or the reduced one under -short (the
+// shapes and assertions are identical; only the largest instances shrink).
+func sweep(full, short []int) []int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 // TestRatioFlatAcrossSizes is the headline reproduction claim in test form:
 // the uniform/non-uniform round ratio of the Theorem 1 MIS must not grow
 // with n (measured over a 16x sweep on bounded-degree graphs).
 func TestRatioFlatAcrossSizes(t *testing.T) {
 	uniform := UniformMISDelta()
 	ratios := make([]float64, 0, 3)
-	for _, n := range []int{128, 512, 2048} {
+	for _, n := range sweep([]int{128, 512, 2048}, []int{64, 256, 1024}) {
 		g, err := graph.RandomRegular(n, 4, int64(n))
 		if err != nil {
 			t.Fatal(err)
@@ -47,7 +56,7 @@ func TestRatioFlatAcrossSizes(t *testing.T) {
 // TestBestMISSelectivity pins Theorem 4's selection on opposite extremes.
 func TestBestMISSelectivity(t *testing.T) {
 	combined := BestMIS()
-	star := graph.Star(1500)
+	star := graph.Star(sweep([]int{1500}, []int{600})[0])
 	res, err := local.Run(star, combined, local.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +106,7 @@ func TestLambdaTradeoffShape(t *testing.T) {
 // row: quadrupling n must not triple the rounds.
 func TestLubyLogShape(t *testing.T) {
 	rounds := make([]int, 0, 3)
-	for _, n := range []int{1024, 4096, 16384} {
+	for _, n := range sweep([]int{1024, 4096, 16384}, []int{512, 2048, 8192}) {
 		g, err := graph.GNP(n, 8/float64(n-1), int64(n))
 		if err != nil {
 			t.Fatal(err)

@@ -8,11 +8,18 @@
 // 64-bit identity, unique within the graph, which is what the distributed
 // algorithms actually see. All methods on Graph are safe for concurrent use
 // because a built Graph is immutable.
+//
+// Internally a Graph is stored in compressed sparse row (CSR) form: one flat
+// []int32 of neighbour indices plus an offset table, with parallel flat
+// arrays for the reverse-port and reverse-edge tables. Every directed edge
+// (u, port k) therefore has a dense index AdjOffset(u)+k in [0, 2|E|), which
+// the simulation engine uses to address flat per-port message lanes.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -28,11 +35,22 @@ const MaxPackedID = int64(1)<<62 - 1
 // Graph is an immutable simple undirected graph with unique node identities.
 // The zero value is an empty graph with no nodes.
 type Graph struct {
-	ids    []int64
-	adj    [][]int32 // adj[u] lists neighbour indices of u in increasing order
-	back   [][]int32 // back[u][k] = position of u in adj[v] for v = adj[u][k]
+	ids []int64
+
+	// CSR adjacency: the neighbours of u are data[off[u]:off[u+1]], sorted
+	// increasingly. back and cross are indexed like data: for the directed
+	// edge e = off[u]+k with v = data[e], back[e] is the port under which u
+	// appears at v, and cross[e] = off[v] + back[e] is the dense index of the
+	// reverse directed edge (v -> u).
+	off   []int32
+	data  []int32
+	back  []int32
+	cross []int32
+
 	maxDeg int
 	edges  int
+	maxID  int64
+	idIdx  map[int64]int32
 }
 
 // N returns the number of nodes.
@@ -42,7 +60,7 @@ func (g *Graph) N() int { return len(g.ids) }
 func (g *Graph) NumEdges() int { return g.edges }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
 // MaxDegree returns the maximum degree Δ of the graph (0 for an empty graph).
 func (g *Graph) MaxDegree() int { return g.maxDeg }
@@ -51,33 +69,36 @@ func (g *Graph) MaxDegree() int { return g.maxDeg }
 func (g *Graph) ID(u int) int64 { return g.ids[u] }
 
 // MaxIDValue returns the largest identity in the graph, the parameter m of
-// the paper (0 for an empty graph).
-func (g *Graph) MaxIDValue() int64 {
-	var m int64
-	for _, id := range g.ids {
-		if id > m {
-			m = id
-		}
-	}
-	return m
-}
+// the paper (0 for an empty graph). It is precomputed at Build.
+func (g *Graph) MaxIDValue() int64 { return g.maxID }
 
 // Neighbors returns the neighbour indices of u, sorted increasingly. The
 // returned slice is shared with the graph's internal storage and must not be
 // modified.
-func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+func (g *Graph) Neighbors(u int) []int32 { return g.data[g.off[u]:g.off[u+1]] }
 
 // Neighbor returns the index of the k-th neighbour (port k) of u.
-func (g *Graph) Neighbor(u, k int) int { return int(g.adj[u][k]) }
+func (g *Graph) Neighbor(u, k int) int { return int(g.data[int(g.off[u])+k]) }
 
 // BackPort returns the port under which u appears at its k-th neighbour:
 // if v = Neighbor(u, k), then Neighbor(v, BackPort(u, k)) == u.
-func (g *Graph) BackPort(u, k int) int { return int(g.back[u][k]) }
+func (g *Graph) BackPort(u, k int) int { return int(g.back[int(g.off[u])+k]) }
+
+// AdjOffset returns the dense index of u's port 0 in the directed-edge
+// numbering: port k of u is directed edge AdjOffset(u)+k, and the indices of
+// all nodes together tile [0, 2*NumEdges()).
+func (g *Graph) AdjOffset(u int) int { return int(g.off[u]) }
+
+// ReverseEdges returns, for each port k of u, the dense directed-edge index
+// of the reverse edge: with v = Neighbor(u, k), ReverseEdges(u)[k] ==
+// AdjOffset(v) + BackPort(u, k). The slice is shared with the graph's
+// internal storage and must not be modified.
+func (g *Graph) ReverseEdges(u int) []int32 { return g.cross[g.off[u]:g.off[u+1]] }
 
 // NeighborIDs appends the identities of u's neighbours, in port order, to dst
 // and returns the extended slice.
 func (g *Graph) NeighborIDs(dst []int64, u int) []int64 {
-	for _, v := range g.adj[u] {
+	for _, v := range g.Neighbors(u) {
 		dst = append(dst, g.ids[v])
 	}
 	return dst
@@ -85,17 +106,16 @@ func (g *Graph) NeighborIDs(dst []int64, u int) []int64 {
 
 // HasEdge reports whether nodes u and v are adjacent.
 func (g *Graph) HasEdge(u, v int) bool {
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return int(a[i]) >= v })
 	return i < len(a) && int(a[i]) == v
 }
 
-// IndexOfID returns the node index carrying identity id, or -1.
+// IndexOfID returns the node index carrying identity id, or -1. The lookup
+// table is precomputed at Build.
 func (g *Graph) IndexOfID(id int64) int {
-	for u, x := range g.ids {
-		if x == id {
-			return u
-		}
+	if u, ok := g.idIdx[id]; ok {
+		return int(u)
 	}
 	return -1
 }
@@ -108,8 +128,8 @@ type Edge struct {
 // Edges returns the edges of g in lexicographic order.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.edges)
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
 			if int32(u) < v {
 				es = append(es, Edge{U: int32(u), V: v})
 			}
@@ -122,16 +142,18 @@ func (g *Graph) Edges() []Edge {
 // By default node u receives identity u+1; SetID overrides this.
 type Builder struct {
 	ids []int64
-	adj []map[int32]struct{}
-	bad []badEdge
+	// arcs holds both directions of every AddEdge call, unsorted and possibly
+	// duplicated; Build sorts, deduplicates and flattens them into CSR form.
+	// Accumulating flat arcs instead of per-node sets keeps AddEdge
+	// allocation-free on average and Build O(m log Δ).
+	arcSrc []int32
+	arcDst []int32
+	bad    []badEdge
 }
 
 // NewBuilder returns a builder for a graph on n nodes and no edges.
 func NewBuilder(n int) *Builder {
-	b := &Builder{
-		ids: make([]int64, n),
-		adj: make([]map[int32]struct{}, n),
-	}
+	b := &Builder{ids: make([]int64, n)}
 	for u := 0; u < n; u++ {
 		b.ids[u] = int64(u) + 1
 	}
@@ -145,22 +167,11 @@ func (b *Builder) SetID(u int, id int64) { b.ids[u] = id }
 // ignored; self-loops and out-of-range endpoints surface as errors at Build.
 func (b *Builder) AddEdge(u, v int) {
 	if u < 0 || v < 0 || u >= len(b.ids) || v >= len(b.ids) || u == v {
-		// Record an impossible edge so Build reports the problem; storing it
-		// under a sentinel keeps AddEdge signature chainable.
-		if b.adj == nil {
-			return
-		}
 		b.markBad(u, v)
 		return
 	}
-	if b.adj[u] == nil {
-		b.adj[u] = make(map[int32]struct{}, 4)
-	}
-	if b.adj[v] == nil {
-		b.adj[v] = make(map[int32]struct{}, 4)
-	}
-	b.adj[u][int32(v)] = struct{}{}
-	b.adj[v][int32(u)] = struct{}{}
+	b.arcSrc = append(b.arcSrc, int32(u), int32(v))
+	b.arcDst = append(b.arcDst, int32(v), int32(u))
 }
 
 // badEdges collects invalid AddEdge calls for error reporting.
@@ -178,53 +189,77 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, fmt.Errorf("%w: {%d,%d} (n=%d)", errBadEdge, b.bad[0].u, b.bad[0].v, len(b.ids))
 	}
 	n := len(b.ids)
-	seen := make(map[int64]int, n)
+	idIdx := make(map[int64]int32, n)
+	var maxID int64
 	for u, id := range b.ids {
 		if id <= 0 || id > MaxPackedID {
 			return nil, fmt.Errorf("graph: node %d has out-of-range identity %d", u, id)
 		}
-		if prev, dup := seen[id]; dup {
+		if prev, dup := idIdx[id]; dup {
 			return nil, fmt.Errorf("graph: nodes %d and %d share identity %d", prev, u, id)
 		}
-		seen[id] = u
+		idIdx[id] = int32(u)
+		if id > maxID {
+			maxID = id
+		}
 	}
 	g := &Graph{
-		ids: append([]int64(nil), b.ids...),
-		adj: make([][]int32, n),
+		ids:   append([]int64(nil), b.ids...),
+		maxID: maxID,
+		idIdx: idIdx,
+	}
+
+	// Counting sort of the arcs by source into CSR segments.
+	off := make([]int32, n+1)
+	for _, u := range b.arcSrc {
+		off[u+1]++
 	}
 	for u := 0; u < n; u++ {
-		nb := make([]int32, 0, len(b.adj[u]))
-		for v := range b.adj[u] {
-			nb = append(nb, v)
-		}
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		g.adj[u] = nb
-		if len(nb) > g.maxDeg {
-			g.maxDeg = len(nb)
-		}
-		g.edges += len(nb)
+		off[u+1] += off[u]
 	}
-	g.edges /= 2
-	g.back = backPorts(g.adj)
-	return g, nil
-}
+	data := make([]int32, len(b.arcSrc))
+	cursor := append([]int32(nil), off[:n]...)
+	for i, u := range b.arcSrc {
+		data[cursor[u]] = b.arcDst[i]
+		cursor[u]++
+	}
 
-// backPorts computes, for every directed port (u,k), the reverse port index.
-func backPorts(adj [][]int32) [][]int32 {
-	back := make([][]int32, len(adj))
-	for u := range adj {
-		back[u] = make([]int32, len(adj[u]))
-	}
-	// pos[v] tracks how far we have scanned adj[v]; since adjacency lists are
-	// sorted, scanning nodes u in increasing order visits each directed edge
-	// (v,u) in increasing u, so a single cursor per node suffices after a
-	// direct search. Use binary search for simplicity and robustness.
-	for u := range adj {
-		for k, v := range adj[u] {
-			a := adj[v]
-			i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(u) })
-			back[u][k] = int32(i)
+	// Sort each segment, then deduplicate in place (write index never passes
+	// the read index, so the compaction can reuse data's storage).
+	w := int32(0)
+	for u := 0; u < n; u++ {
+		lo, hi := off[u], off[u+1]
+		seg := data[lo:hi]
+		slices.Sort(seg)
+		start := w
+		for i := range seg {
+			if i == 0 || seg[i] != seg[i-1] {
+				data[w] = seg[i]
+				w++
+			}
+		}
+		off[u] = start
+		if deg := int(w - start); deg > g.maxDeg {
+			g.maxDeg = deg
 		}
 	}
-	return back
+	off[n] = w
+	g.off = off
+	g.data = data[:w:w]
+	g.edges = int(w) / 2
+
+	// Reverse-port and reverse-edge tables: for each directed edge locate the
+	// source inside the destination's sorted segment.
+	g.back = make([]int32, w)
+	g.cross = make([]int32, w)
+	for u := 0; u < n; u++ {
+		for e := off[u]; e < off[u+1]; e++ {
+			v := g.data[e]
+			seg := g.data[off[v]:off[v+1]]
+			i, _ := slices.BinarySearch(seg, int32(u))
+			g.back[e] = int32(i)
+			g.cross[e] = off[v] + int32(i)
+		}
+	}
+	return g, nil
 }

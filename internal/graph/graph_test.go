@@ -428,3 +428,86 @@ func TestEdgesCanonical(t *testing.T) {
 		}
 	}
 }
+
+// TestCSRDirectedEdgeNumbering pins the dense directed-edge numbering the
+// simulation engine's flat message lanes rely on: AdjOffset tiles
+// [0, 2|E|), and ReverseEdges(u)[k] is exactly the slot of the reverse edge.
+func TestCSRDirectedEdgeNumbering(t *testing.T) {
+	gnp, err := GNP(150, 0.05, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Graph{gnp, Star(30), Path(12), Complete(9), Empty(4)} {
+		prev := 0
+		for u := 0; u < g.N(); u++ {
+			if got := g.AdjOffset(u); got != prev {
+				t.Fatalf("AdjOffset(%d) = %d, want %d", u, got, prev)
+			}
+			prev += g.Degree(u)
+			rev := g.ReverseEdges(u)
+			if len(rev) != g.Degree(u) {
+				t.Fatalf("ReverseEdges(%d) has %d entries for degree %d", u, len(rev), g.Degree(u))
+			}
+			for k := range rev {
+				v := g.Neighbor(u, k)
+				want := g.AdjOffset(v) + g.BackPort(u, k)
+				if int(rev[k]) != want {
+					t.Fatalf("ReverseEdges(%d)[%d] = %d, want %d", u, k, rev[k], want)
+				}
+			}
+		}
+		if prev != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d does not tile 2|E| = %d", prev, 2*g.NumEdges())
+		}
+	}
+}
+
+// TestPrecomputedLookups checks the Build-time caches against full scans.
+func TestPrecomputedLookups(t *testing.T) {
+	g, err := WithShuffledIDs(mustBuild(NewBuilder(64)), 1<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMax int64
+	for u := 0; u < g.N(); u++ {
+		if id := g.ID(u); id > wantMax {
+			wantMax = id
+		}
+	}
+	if g.MaxIDValue() != wantMax {
+		t.Fatalf("MaxIDValue = %d, want %d", g.MaxIDValue(), wantMax)
+	}
+	for u := 0; u < g.N(); u++ {
+		if got := g.IndexOfID(g.ID(u)); got != u {
+			t.Fatalf("IndexOfID(%d) = %d, want %d", g.ID(u), got, u)
+		}
+	}
+	if g.IndexOfID(wantMax+1) != -1 {
+		t.Fatalf("IndexOfID of absent identity should be -1")
+	}
+	if Empty(0).MaxIDValue() != 0 {
+		t.Fatal("empty graph MaxIDValue should be 0")
+	}
+}
+
+// TestBuilderDeduplicatesArcs checks that duplicate AddEdge calls (in either
+// orientation) collapse to one edge in the CSR layout.
+func TestBuilderDeduplicatesArcs(t *testing.T) {
+	b := NewBuilder(4)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 0)
+	}
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees after dedup: %d, %d; want 1, 1", g.Degree(0), g.Degree(1))
+	}
+	checkSimple(t, g)
+}

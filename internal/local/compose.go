@@ -31,7 +31,10 @@ type pos struct{ s, t int }
 
 func (p pos) less(q pos) bool { return p.s < q.s || (p.s == q.s && p.t < q.t) }
 
-// composeEnv is the envelope exchanged by composed nodes.
+// composeEnv is the envelope exchanged by composed nodes. Envelopes are sent
+// by pointer and immutable once sent: a round with no payloads shares one
+// envelope across all ports, so the synchronizer's stall and sleep rounds
+// (the bulk of a skewed-wake-up execution) cost one allocation instead of Δ.
 type composeEnv struct {
 	at      pos
 	payload Message
@@ -72,6 +75,12 @@ type composeNode struct {
 	seen   []pos
 	nbDone []bool
 	buf    []map[pos]Message
+
+	// innerRecv and envs are per-round scratch buffers, reused across rounds
+	// (the engine consumes a returned send slice before the next Round call,
+	// so handing out the same backing array every round is safe).
+	innerRecv []Message
+	envs      []Message
 }
 
 // startStage instantiates the state machine for the current stage.
@@ -94,7 +103,7 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 		if m == nil {
 			continue
 		}
-		env, ok := m.(composeEnv)
+		env, ok := m.(*composeEnv)
 		if !ok {
 			continue // foreign message; composed stages only understand envelopes
 		}
@@ -117,10 +126,14 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 			}
 		}
 	}
-	innerRecv := make([]Message, n.info.Degree)
-	if n.at.t > 0 {
-		key := pos{n.at.s, n.at.t - 1}
-		for p := range innerRecv {
+	if n.innerRecv == nil {
+		n.innerRecv = make([]Message, n.info.Degree)
+	}
+	innerRecv := n.innerRecv
+	key := pos{n.at.s, n.at.t - 1}
+	for p := range innerRecv {
+		innerRecv[p] = nil
+		if n.at.t > 0 {
 			if msg, ok := n.buf[p][key]; ok {
 				innerRecv[p] = msg
 				delete(n.buf[p], key)
@@ -141,13 +154,19 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 			finished = true
 		}
 	}
-	envs := make([]Message, n.info.Degree)
+	if n.envs == nil {
+		n.envs = make([]Message, n.info.Degree)
+	}
+	envs := n.envs
+	// Ports without a payload share a single envelope; only payload-carrying
+	// ports need their own.
+	quiet := &composeEnv{at: stepped, allDone: finished}
 	for p := 0; p < n.info.Degree; p++ {
-		var payload Message
-		if len(send) > 0 {
-			payload = send[p]
+		if len(send) > 0 && send[p] != nil {
+			envs[p] = &composeEnv{at: stepped, payload: send[p], allDone: finished}
+		} else {
+			envs[p] = quiet
 		}
-		envs[p] = composeEnv{at: stepped, payload: payload, allDone: finished}
 	}
 	return envs, finished
 }
@@ -249,6 +268,12 @@ type Subrun struct {
 	t      int
 	done   bool
 	output any
+
+	// recvBuf and sendBuf are reused across Step calls: the host consumes the
+	// returned scatter slice within its own Round, and the inner node borrows
+	// recvBuf only for the duration of its Round.
+	recvBuf []Message
+	sendBuf []Message
 }
 
 // NewSubrun creates a sub-execution of inner seeing only the given host
@@ -279,11 +304,13 @@ func (s *Subrun) Step(recv []Message, hostDeg int) []Message {
 	if s.done {
 		return nil
 	}
-	innerRecv := make([]Message, len(s.ports))
-	for i, p := range s.ports {
-		innerRecv[i] = recv[p]
+	if s.recvBuf == nil {
+		s.recvBuf = make([]Message, len(s.ports))
 	}
-	send, done := s.inner.Round(s.t, innerRecv)
+	for i, p := range s.ports {
+		s.recvBuf[i] = recv[p]
+	}
+	send, done := s.inner.Round(s.t, s.recvBuf)
 	s.t++
 	if done {
 		s.done = true
@@ -292,7 +319,10 @@ func (s *Subrun) Step(recv []Message, hostDeg int) []Message {
 	if len(send) == 0 {
 		return nil
 	}
-	out := make([]Message, hostDeg)
+	if len(s.sendBuf) != hostDeg {
+		s.sendBuf = make([]Message, hostDeg)
+	}
+	out := s.sendBuf
 	for i, p := range s.ports {
 		out[p] = send[i]
 	}

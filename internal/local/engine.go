@@ -47,10 +47,34 @@ type Result struct {
 	Messages int64
 }
 
+// workerTally accumulates one worker's round statistics. It is padded to a
+// cache line so the per-message counters of different workers never share a
+// line (the per-node counter array of the previous engine caused false
+// sharing on every delivery).
+type workerTally struct {
+	msgs int64
+	err  error
+	_    [40]byte
+}
+
+// job is one round's work assignment for a pooled worker: the round number
+// and the frontier slice of node indices to step.
+type job struct {
+	r     int
+	items []int32
+}
+
 // Run simulates algorithm a on graph g until every node has terminated and
 // returns the outputs and round statistics. All nodes wake up simultaneously
 // at round 0, per the paper's Section 2 reduction (non-simultaneous wake-up
 // is handled by Compose/WithWakeup, which are themselves Algorithms).
+//
+// The engine keeps an explicit frontier of live nodes, so a round costs
+// O(live nodes + messages) rather than O(n); messages travel through two
+// flat lanes of 2|E| slots indexed by the graph's dense directed-edge
+// numbering (graph.AdjOffset), and parallel execution reuses a persistent
+// worker pool with one channel hand-off per worker per round. Sequential
+// and parallel runs produce byte-identical Results for any worker count.
 func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	n := g.N()
 	maxRounds := opts.MaxRounds
@@ -66,11 +90,8 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	}
 
 	states := make([]Node, n)
-	inbox := make([][]Message, n)
-	next := make([][]Message, n)
 	halted := make([]bool, n)
 	haltRounds := make([]int, n)
-	msgs := make([]int64, n)
 	outputs := make([]any, n)
 	for u := 0; u < n; u++ {
 		deg := g.Degree(u)
@@ -81,90 +102,135 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 			Rand:      DeriveRand(opts.Seed, g.ID(u), 0),
 		}
 		states[u] = a.New(info)
-		inbox[u] = make([]Message, deg)
-		next[u] = make([]Message, deg)
 	}
 
-	live := n
-	runErrs := make([]error, workers)
-	var wg sync.WaitGroup
-	for r := 0; r < maxRounds && live > 0; r++ {
-		step := func(w, lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				if halted[u] {
-					continue
+	// Flat message lanes: slot AdjOffset(u)+k carries the message awaiting u
+	// on port k. A node clears only its own inbox slots, and only those that
+	// were actually written, after reading them; slots of halted nodes are
+	// never read again, so no global wipe of the lanes is ever needed.
+	lanes := 2 * g.NumEdges()
+	inbox := make([]Message, lanes)
+	next := make([]Message, lanes)
+
+	// The frontier lists live nodes in increasing order; halting nodes are
+	// compacted out after each round, so late rounds only touch live nodes.
+	frontier := make([]int32, n)
+	for u := range frontier {
+		frontier[u] = int32(u)
+	}
+
+	tallies := make([]workerTally, workers)
+	step := func(w, r int, items []int32) {
+		t := &tallies[w]
+		sent := int64(0)
+		for _, un := range items {
+			u := int(un)
+			off := g.AdjOffset(u)
+			deg := g.Degree(u)
+			recv := inbox[off : off+deg]
+			send, done := states[u].Round(r, recv)
+			if len(send) != 0 && len(send) != deg {
+				t.err = fmt.Errorf("local: %s: node %d sent %d messages with degree %d",
+					a.Name(), u, len(send), deg)
+				t.msgs += sent
+				return
+			}
+			for k := range recv {
+				if recv[k] != nil {
+					recv[k] = nil
 				}
-				send, done := states[u].Round(r, inbox[u])
-				if len(send) != 0 && len(send) != g.Degree(u) {
-					runErrs[w] = fmt.Errorf("local: %s: node %d sent %d messages with degree %d",
-						a.Name(), u, len(send), g.Degree(u))
-					return
-				}
-				for k := range inbox[u] {
-					inbox[u][k] = nil
-				}
+			}
+			if len(send) != 0 {
+				rev := g.ReverseEdges(u)
 				for k, msg := range send {
 					if msg != nil {
-						v := g.Neighbor(u, k)
-						next[v][g.BackPort(u, k)] = msg
-						msgs[u]++
+						next[rev[k]] = msg
+						sent++
 					}
 				}
-				if done {
-					halted[u] = true
-					haltRounds[u] = r
-					outputs[u] = states[u].Output()
-				}
+			}
+			if done {
+				halted[u] = true
+				haltRounds[u] = r
+				outputs[u] = states[u].Output()
 			}
 		}
-		if workers == 1 {
-			wg.Add(1)
-			step(0, 0, n)
-		} else {
-			chunk := (n + workers - 1) / workers
-			wg.Add(workers)
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := min(lo+chunk, n)
-				if lo >= hi {
+		t.msgs += sent
+	}
+
+	// Persistent pool: workers-1 goroutines live for the whole run, each fed
+	// by its own buffered channel; the coordinator steps chunk 0 itself. The
+	// channel hand-off and wg.Wait form the round barrier.
+	var wg sync.WaitGroup
+	var pool []chan job
+	if workers > 1 {
+		pool = make([]chan job, workers-1)
+		for i := range pool {
+			ch := make(chan job, 1)
+			pool[i] = ch
+			go func(w int) {
+				for j := range ch {
+					step(w, j.r, j.items)
 					wg.Done()
-					continue
 				}
-				go step(w, lo, hi)
-			}
+			}(i + 1)
 		}
-		wg.Wait()
-		for _, err := range runErrs {
-			if err != nil {
+		defer func() {
+			for _, ch := range pool {
+				close(ch)
+			}
+		}()
+	}
+
+	for r := 0; r < maxRounds && len(frontier) > 0; r++ {
+		live := len(frontier)
+		nw := workers
+		if nw > live {
+			nw = live
+		}
+		if nw <= 1 {
+			step(0, r, frontier)
+		} else {
+			chunk := (live + nw - 1) / nw
+			for w := 1; w*chunk < live; w++ {
+				lo := w * chunk
+				hi := min(lo+chunk, live)
+				wg.Add(1)
+				pool[w-1] <- job{r: r, items: frontier[lo:hi]}
+			}
+			step(0, r, frontier[:chunk])
+			wg.Wait()
+		}
+		for w := range tallies {
+			if err := tallies[w].err; err != nil {
 				return nil, err
 			}
 		}
 		inbox, next = next, inbox
-		live = 0
-		for u := 0; u < n; u++ {
+		keep := 0
+		for _, u := range frontier {
 			if !halted[u] {
-				live++
+				frontier[keep] = u
+				keep++
 			}
 		}
+		frontier = frontier[:keep]
 	}
-	if live > 0 {
+	if len(frontier) > 0 {
 		return nil, fmt.Errorf("%w: algorithm %q, %d of %d nodes still running after %d rounds",
-			ErrMaxRounds, a.Name(), live, n, maxRounds)
+			ErrMaxRounds, a.Name(), len(frontier), n, maxRounds)
 	}
 	res := &Result{
 		Outputs:    outputs,
 		HaltRounds: haltRounds,
-		Rounds:     0,
 	}
 	for u := 0; u < n; u++ {
 		if haltRounds[u]+1 > res.Rounds {
 			res.Rounds = haltRounds[u] + 1
 		}
-		res.Messages += msgs[u]
 	}
-	if n == 0 {
-		res.Rounds = 0
+	for w := range tallies {
+		res.Messages += tallies[w].msgs
 	}
 	return res, nil
 }

@@ -1,0 +1,151 @@
+package local_test
+
+// Microbenchmarks for the simulation engine hot path, exercising the two
+// regimes the rearchitecture targets:
+//
+//   - LongTail: a thin frontier of nodes survives for many rounds after the
+//     bulk of the graph has halted. The frontier + persistent-pool engine
+//     must only touch live nodes, so late rounds are nearly free.
+//   - DenseShort: every node is live and chatty for every round, the
+//     worst case for frontier bookkeeping. The rearchitecture must not
+//     regress here.
+//
+// Each workload is also run against runLegacy (the pre-refactor per-round
+// goroutine fan-out engine, frozen in engine_legacy_test.go) so the speedup
+// is measurable in-repo: go test -bench=BenchmarkEngine ./internal/local.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// tailAlgo halts most nodes within a handful of rounds while a sparse subset
+// (one in survivorStride) stays live and broadcasting until tailRounds.
+func tailAlgo(tailRounds, survivorStride int) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: fmt.Sprintf("tail-%d", tailRounds),
+		NewNode: func(info local.Info) local.Node {
+			haltAt := 2 + int(info.ID)%8
+			if int(info.ID)%survivorStride == 0 {
+				haltAt = tailRounds
+			}
+			return &tailNode{info: info, haltAt: haltAt}
+		},
+	}
+}
+
+type tailNode struct {
+	info   local.Info
+	haltAt int
+}
+
+func (n *tailNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if r >= n.haltAt {
+		return nil, true
+	}
+	// Survivors are mostly quiet (the realistic long-tail shape: stalled
+	// synchronizer stages, pruning waits) but chirp periodically so the
+	// message lanes stay exercised throughout the tail.
+	if r&31 == 0 {
+		return local.Broadcast(r, n.info.Degree), false
+	}
+	return nil, false
+}
+
+func (n *tailNode) Output() any { return n.haltAt }
+
+// denseAlgo keeps every node live and broadcasting for exactly rounds rounds.
+func denseAlgo(rounds int) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: fmt.Sprintf("dense-%d", rounds),
+		NewNode: func(info local.Info) local.Node {
+			return &denseNode{info: info, rounds: rounds}
+		},
+	}
+}
+
+type denseNode struct {
+	info   local.Info
+	rounds int
+	acc    int
+}
+
+func (n *denseNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	for _, m := range recv {
+		if v, ok := m.(int); ok {
+			n.acc += v
+		}
+	}
+	if r+1 >= n.rounds {
+		return nil, true
+	}
+	return local.Broadcast(r, n.info.Degree), false
+}
+
+func (n *denseNode) Output() any { return n.acc }
+
+type runner struct {
+	name string
+	run  func(*graph.Graph, local.Algorithm, local.Options) (*local.Result, error)
+}
+
+func engineRunners() []runner {
+	return []runner{
+		{"engine", local.Run},
+		{"legacy", runLegacy},
+	}
+}
+
+func benchWorkload(b *testing.B, g *graph.Graph, a local.Algorithm, opts local.Options) {
+	for _, eng := range engineRunners() {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := eng.run(g, a, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkEngineLongTail is the headline frontier workload: 4096 nodes,
+// ~64 survivors running for 768 rounds after everyone else halted by round 9.
+func BenchmarkEngineLongTail(b *testing.B) {
+	g, err := graph.GNP(4096, 8/4095.0, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := tailAlgo(768, 64)
+	b.Run("parallel", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1}) })
+	b.Run("sequential", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1, Sequential: true}) })
+}
+
+// BenchmarkEngineLongTailPath is the same regime on a bounded-degree
+// topology, where per-round overhead (not message volume) dominates.
+func BenchmarkEngineLongTailPath(b *testing.B) {
+	g := graph.Path(8192)
+	a := tailAlgo(512, 128)
+	b.Run("parallel", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1}) })
+	b.Run("sequential", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1, Sequential: true}) })
+}
+
+// BenchmarkEngineDenseShort keeps all nodes live and broadcasting on a
+// denser graph for a short run: the no-regression guard for the frontier
+// and flat-lane machinery.
+func BenchmarkEngineDenseShort(b *testing.B) {
+	g, err := graph.GNP(2048, 16/2047.0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := denseAlgo(24)
+	b.Run("parallel", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1}) })
+	b.Run("sequential", func(b *testing.B) { benchWorkload(b, g, a, local.Options{Seed: 1, Sequential: true}) })
+}

@@ -60,6 +60,12 @@ func (in *Info) NeighborPort(id int64) int {
 // afterwards Round is never called again and Output must return the node's
 // final output.
 //
+// Both slices are borrowed, not owned: recv is only valid for the duration
+// of the call, and the caller consumes the returned send slice before the
+// next Round call, so implementations may reuse one backing array for their
+// sends round after round. The Message values themselves may be retained and
+// must stay immutable once sent.
+//
 // Output may also be consulted by a wrapper *before* termination — the
 // paper's "algorithm restricted to i rounds" takes whatever tentative output
 // is present when the budget expires — so implementations should always
