@@ -7,13 +7,24 @@
 // Usage:
 //
 //	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large] [-workers N]
+//	           [-json path] [-cpuprofile path] [-memprofile path]
+//
+// With -json, a machine-readable result set (schema documented in
+// EXPERIMENTS.md) is additionally written to the given path; the committed
+// BENCH.json at the repo root tracks the perf trajectory across PRs. The
+// profile flags capture standard pprof profiles of the whole run, so
+// hot-path regressions can be diagnosed without editing code.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"github.com/unilocal/unilocal/internal/algorithms/luby"
 	"github.com/unilocal/unilocal/internal/engines"
@@ -34,6 +45,9 @@ var (
 	flagSeed    = flag.Int64("seed", 1, "simulation seed")
 	flagLarge   = flag.Bool("large", false, "use larger size sweeps")
 	flagWorkers = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	flagJSON    = flag.String("json", "", "write machine-readable results to this path")
+	flagCPU     = flag.String("cpuprofile", "", "write a CPU profile to this path")
+	flagMem     = flag.String("memprofile", "", "write a heap profile to this path")
 )
 
 // simOpts returns the engine options for one run at the given seed.
@@ -41,8 +55,63 @@ func simOpts(seed int64) local.Options {
 	return local.Options{Seed: seed, Workers: *flagWorkers}
 }
 
+// record is one measured simulation in the -json output; see EXPERIMENTS.md
+// for the schema.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	Algorithm  string  `json:"algorithm"`
+	N          int     `json:"n"`
+	Rounds     int     `json:"rounds"`
+	Messages   int64   `json:"messages"`
+	WallNs     int64   `json:"wall_ns"`
+	Allocs     uint64  `json:"allocs"`
+	Ratio      float64 `json:"ratio,omitempty"`
+}
+
+// collected accumulates the -json records of the whole invocation.
+var collected []record
+
+// currentExp is the experiment id being run, stamped into records.
+var currentExp string
+
+// measure runs one simulation, recording wall time and allocation count.
+func measure(label string, g *graph.Graph, a local.Algorithm, seed int64) (*local.Result, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := local.Run(g, a, simOpts(seed))
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, err
+	}
+	collected = append(collected, record{
+		Experiment: currentExp,
+		Label:      label,
+		Algorithm:  a.Name(),
+		N:          g.N(),
+		Rounds:     res.Rounds,
+		Messages:   res.Messages,
+		WallNs:     wall.Nanoseconds(),
+		Allocs:     after.Mallocs - before.Mallocs,
+	})
+	return res, nil
+}
+
 func run() error {
 	flag.Parse()
+	if *flagCPU != "" {
+		f, err := os.Create(*flagCPU)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	exps := map[string]func() error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E13": e13,
@@ -54,6 +123,7 @@ func run() error {
 		if want != "ALL" && want != id {
 			continue
 		}
+		currentExp = id
 		if err := exps[id](); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -62,7 +132,47 @@ func run() error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *flagExp)
 	}
+	if *flagJSON != "" {
+		if err := writeJSON(*flagJSON); err != nil {
+			return err
+		}
+	}
+	if *flagMem != "" {
+		f, err := os.Create(*flagMem)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeJSON emits the collected records with a schema header.
+func writeJSON(path string) error {
+	doc := struct {
+		SchemaVersion int      `json:"schema_version"`
+		GeneratedBy   string   `json:"generated_by"`
+		Seed          int64    `json:"seed"`
+		Workers       int      `json:"workers"`
+		Large         bool     `json:"large"`
+		Results       []record `json:"results"`
+	}{
+		SchemaVersion: 1,
+		GeneratedBy:   "cmd/localbench",
+		Seed:          *flagSeed,
+		Workers:       *flagWorkers,
+		Large:         *flagLarge,
+		Results:       collected,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func sizes(small []int, large []int) []int {
@@ -74,17 +184,18 @@ func sizes(small []int, large []int) []int {
 
 // row runs baseline and uniform on one graph and prints a table row.
 func row(label string, g *graph.Graph, baseline, uniform local.Algorithm, check func([]any) error) error {
-	nu, err := local.Run(g, baseline, simOpts(*flagSeed))
+	nu, err := measure(label+"/nonuniform", g, baseline, *flagSeed)
 	if err != nil {
 		return err
 	}
-	un, err := local.Run(g, uniform, simOpts(*flagSeed))
+	un, err := measure(label+"/uniform", g, uniform, *flagSeed)
 	if err != nil {
 		return err
 	}
 	if err := check(un.Outputs); err != nil {
 		return fmt.Errorf("uniform output invalid on %s: %w", label, err)
 	}
+	collected[len(collected)-1].Ratio = float64(un.Rounds) / float64(nu.Rounds)
 	fmt.Printf("| %s | %d | %d | %d | %.2f |\n",
 		label, g.N(), nu.Rounds, un.Rounds, float64(un.Rounds)/float64(nu.Rounds))
 	return nil
@@ -247,7 +358,7 @@ func e8() error {
 		}
 		total := 0
 		for seed := int64(0); seed < 5; seed++ {
-			res, err := local.Run(g, luby.New(), simOpts(seed))
+			res, err := measure(fmt.Sprintf("gnp8/seed=%d", seed), g, luby.New(), seed)
 			if err != nil {
 				return err
 			}
@@ -284,7 +395,7 @@ func e9() error {
 	} {
 		g := fam.g
 		rounds := func(a local.Algorithm) (int, error) {
-			res, err := local.Run(g, a, simOpts(*flagSeed))
+			res, err := measure(fam.name, g, a, *flagSeed)
 			if err != nil {
 				return 0, err
 			}
@@ -321,7 +432,7 @@ func e10() error {
 		if err != nil {
 			return err
 		}
-		res, err := local.Run(g, uniform, simOpts(*flagSeed))
+		res, err := measure("gnp6", g, uniform, *flagSeed)
 		if err != nil {
 			return err
 		}
@@ -346,13 +457,13 @@ func e13() error {
 	if err != nil {
 		return err
 	}
-	plain, err := local.Run(g, luby.New(), simOpts(*flagSeed))
+	plain, err := measure("gnp6/plain", g, luby.New(), *flagSeed)
 	if err != nil {
 		return err
 	}
 	maxDelay := 16
 	delayed := local.WithWakeup(luby.New(), func(id int64) int { return int(id % 17) })
-	res, err := local.Run(g, delayed, simOpts(*flagSeed))
+	res, err := measure("gnp6/wakeup", g, delayed, *flagSeed)
 	if err != nil {
 		return err
 	}

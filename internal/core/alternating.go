@@ -41,7 +41,14 @@ type Plan interface {
 // lockstep without any synchronisation traffic, exactly as in Algorithm 1
 // and Algorithm 2 of the paper. By Observation 3.4, if the execution
 // terminates the combined output solves the pruner's problem.
+//
+// The plan is wrapped in a shared memoized step cache (MemoPlan), so the
+// schedule arithmetic — doubling loops, SetSequence materialisations — runs
+// once per step index for the whole network instead of once per node per
+// window. The returned algorithm may be reused across any number of
+// concurrent Runs; see DESIGN.md §2.5 for the sharing rules.
 func NewAlternating(name string, plan Plan, pruner Pruner) local.Algorithm {
+	plan = MemoPlan(plan)
 	return local.AlgorithmFunc{
 		AlgoName: name,
 		NewNode: func(info local.Info) local.Node {
@@ -55,9 +62,19 @@ func NewAlternating(name string, plan Plan, pruner Pruner) local.Algorithm {
 	}
 }
 
-// gatherMsg floods ball records during the pruning phase.
+// gatherMsg floods ball records during the pruning phase. The records slice
+// is a sub-slice of the sender's arena holding only the records the sender
+// first learned in the previous round (the BFS frontier of its ball): the
+// standard flooding argument gives every record one shortest-path journey,
+// so per-window traffic is O(|ball|) records per node instead of the
+// O(radius·|ball|) of whole-set re-flooding. Receivers copy records out
+// within one round; the sender only ever appends past the sub-slice, so the
+// shared backing array is race-free. Messages are sent as pointers into a
+// per-node parity-double-buffered pair: a receiver reads the envelope only
+// in the round after the send, and the same parity slot is rewritten no
+// sooner than two rounds later.
 type gatherMsg struct {
-	records []*BallNode
+	records []BallRecord
 }
 
 // announceMsg reports whether the sender survives into the next window.
@@ -78,9 +95,37 @@ type altNode struct {
 	activePorts []int // host ports of surviving neighbours
 	input       any   // current input x_k(v)
 	tentative   any
-	known       map[int64]*BallNode
 	decision    Decision
 	exhausted   bool
+
+	// Pooled pruning state, reset (not reallocated) every window. arena
+	// holds the gathered ball in BFS discovery order with the own record
+	// first; index maps identities to arena positions; deltaLo marks the
+	// start of the newest BFS frontier (the records to forward next round).
+	arena   []BallRecord
+	index   map[int64]int32
+	ball    Ball
+	deltaLo int
+
+	// ids holds the identities of the surviving neighbours, rebuilt in
+	// place at every window start. It backs both the inner Info.Neighbors
+	// and the own ball record's Neighbors for that window: lockstep
+	// guarantees every remote Decide that can observe it has finished
+	// before the next rewrite.
+	ids []int64
+
+	// sendBuf is the degree-sized broadcast buffer, reused every
+	// announce/gather round (the engine consumes a send slice before the
+	// next Round call, so one backing array is safe). gmBuf holds the two
+	// parity-alternating gather envelopes.
+	sendBuf []local.Message
+	gmBuf   [2]gatherMsg
+
+	// winPCG/winRand are the per-window RNG handed to the inner algorithm,
+	// reseeded in place at every window start with the same draws a fresh
+	// PCG would consume.
+	winPCG  rand.PCG
+	winRand *rand.Rand
 }
 
 func (n *altNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
@@ -99,13 +144,14 @@ func (n *altNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 	case n.offset < budget: // run phase
 		send = n.stepInner(recv)
 	case n.offset < budget+radius: // gather phase
-		send = n.gather(n.offset-budget == 0, recv)
+		send = n.gather(n.offset-budget == 0, r&1, recv)
 	case n.offset == budget+radius: // announce phase
 		n.mergeRecords(recv)
-		n.decision = n.pruner.Decide(&Ball{CenterID: n.info.ID, Nodes: n.known})
-		n.known = nil
+		n.ball.reset(n.info.ID, n.arena, n.index)
+		n.decision = n.pruner.Decide(&n.ball)
 		send = n.broadcastActive(announceMsg{surviving: !n.decision.Prune})
 		if n.decision.Prune {
+			n.release()
 			return send, true
 		}
 	default: // absorb phase
@@ -125,24 +171,38 @@ func (n *altNode) beginWindow() bool {
 	step, ok := n.plan.Step(n.k)
 	if !ok {
 		n.exhausted = true
+		n.release()
 		return false
 	}
 	if step.Budget < 1 {
 		step.Budget = 1
 	}
 	n.step = step
-	ids := make([]int64, len(n.activePorts))
-	for i, p := range n.activePorts {
-		ids[i] = n.info.Neighbors[p]
+	if n.ids == nil {
+		n.ids = make([]int64, 0, len(n.activePorts))
+	}
+	n.ids = n.ids[:0]
+	for _, p := range n.activePorts {
+		n.ids = append(n.ids, n.info.Neighbors[p])
+	}
+	s1 := n.info.Rand.Uint64()
+	s2 := n.info.Rand.Uint64()
+	n.winPCG.Seed(s1, s2)
+	if n.winRand == nil {
+		n.winRand = rand.New(&n.winPCG)
 	}
 	info := local.Info{
 		ID:        n.info.ID,
 		Degree:    len(n.activePorts),
-		Neighbors: ids,
+		Neighbors: n.ids,
 		Input:     n.input,
-		Rand:      rand.New(rand.NewPCG(n.info.Rand.Uint64(), n.info.Rand.Uint64())),
+		Rand:      n.winRand,
 	}
-	n.sub = local.NewSubrun(step.Algo.New(info), n.activePorts)
+	if n.sub == nil {
+		n.sub = local.NewSubrun(step.Algo.New(info), n.activePorts)
+	} else {
+		n.sub.Reset(step.Algo.New(info), n.activePorts)
+	}
 	return true
 }
 
@@ -152,52 +212,74 @@ func (n *altNode) stepInner(recv []local.Message) []local.Message {
 	if n.offset+1 == n.step.Budget {
 		// Budget expires after this round: record the tentative output
 		// (final if the inner node halted, arbitrary otherwise — the
-		// "restricted to i rounds" convention).
+		// "restricted to i rounds" convention) and drop the inner state
+		// machine so the window's state is collectable.
 		n.tentative = n.sub.Output()
-		n.sub = nil
+		n.sub.Clear()
 	}
 	return send
 }
 
-// gather floods ball records through the induced graph.
-func (n *altNode) gather(first bool, recv []local.Message) []local.Message {
+// gather floods ball records through the induced graph by delta flooding:
+// each round a node forwards exactly the records it first learned in the
+// previous round. Records travel along shortest paths, so after the first
+// round plus t forwarding rounds every node knows every record at induced
+// distance <= t+1, the same ball whole-set re-flooding produces.
+func (n *altNode) gather(first bool, parity int, recv []local.Message) []local.Message {
 	if first {
-		ids := make([]int64, len(n.activePorts))
-		for i, p := range n.activePorts {
-			ids[i] = n.info.Neighbors[p]
+		if n.arena == nil {
+			// Pre-size for the common small-radius case: a radius-2 ball
+			// holds at most 1 + deg + deg·(deg-1) records, and the arena
+			// grows (once, keeping capacity forever) if the ball is larger.
+			hint := 2 + 4*len(n.activePorts)
+			n.arena = make([]BallRecord, 0, hint)
+			n.index = make(map[int64]int32, hint)
+		} else {
+			n.arena = n.arena[:0]
+			clear(n.index)
 		}
-		n.known = map[int64]*BallNode{n.info.ID: {
+		n.arena = append(n.arena, BallRecord{
 			ID:        n.info.ID,
 			Dist:      0,
 			Input:     n.input,
 			Tentative: n.tentative,
-			Neighbors: ids,
-		}}
+			Neighbors: n.ids,
+		})
+		n.index[n.info.ID] = 0
+		n.deltaLo = 0
 	} else {
+		n.deltaLo = len(n.arena)
 		n.mergeRecords(recv)
 	}
-	records := make([]*BallNode, 0, len(n.known))
-	for _, rec := range n.known {
-		records = append(records, rec)
-	}
-	return n.broadcastActive(gatherMsg{records: records})
+	// An empty delta is still broadcast: the fixed message pattern keeps the
+	// phase structure (and Result.Messages) independent of ball shape.
+	gm := &n.gmBuf[parity]
+	gm.records = n.arena[n.deltaLo:len(n.arena):len(n.arena)]
+	return n.broadcastActive(gm)
 }
 
-// mergeRecords ingests flooded records, keeping minimal distances.
+// mergeRecords ingests flooded deltas, appending first-seen records to the
+// arena. First arrival is along a shortest path, so the recorded distance
+// is minimal; later copies of the same record are duplicates and dropped.
 func (n *altNode) mergeRecords(recv []local.Message) {
 	for _, p := range n.activePorts {
-		gm, ok := recv[p].(gatherMsg)
+		gm, ok := recv[p].(*gatherMsg)
 		if !ok {
 			continue
 		}
-		for _, rec := range gm.records {
-			d := rec.Dist + 1
-			if have, seen := n.known[rec.ID]; !seen {
-				cp := &BallNode{ID: rec.ID, Dist: d, Input: rec.Input, Tentative: rec.Tentative, Neighbors: rec.Neighbors}
-				n.known[rec.ID] = cp
-			} else if d < have.Dist {
-				have.Dist = d
+		for i := range gm.records {
+			rec := &gm.records[i]
+			if _, seen := n.index[rec.ID]; seen {
+				continue
 			}
+			n.index[rec.ID] = int32(len(n.arena))
+			n.arena = append(n.arena, BallRecord{
+				ID:        rec.ID,
+				Dist:      rec.Dist + 1,
+				Input:     rec.Input,
+				Tentative: rec.Tentative,
+				Neighbors: rec.Neighbors,
+			})
 		}
 	}
 }
@@ -221,11 +303,25 @@ func (n *altNode) broadcastActive(msg local.Message) []local.Message {
 	if len(n.activePorts) == 0 {
 		return nil
 	}
-	send := make([]local.Message, n.info.Degree)
+	if n.sendBuf == nil {
+		n.sendBuf = make([]local.Message, n.info.Degree)
+	}
+	send := n.sendBuf
+	for p := range send {
+		send[p] = nil
+	}
 	for _, p := range n.activePorts {
 		send[p] = msg
 	}
 	return send
+}
+
+// release drops the pooled state of a node that will never run another
+// window (pruned or exhausted), so the engine's states table does not pin
+// every terminated node's last ball for the rest of the run.
+func (n *altNode) release() {
+	n.arena, n.index, n.ids, n.sendBuf, n.sub = nil, nil, nil, nil, nil
+	n.ball = Ball{}
 }
 
 func (n *altNode) Output() any { return n.tentative }

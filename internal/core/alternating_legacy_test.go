@@ -1,0 +1,201 @@
+package core_test
+
+// newAlternatingLegacy is the pre-refactor alternating-algorithm hot path,
+// frozen verbatim (modulo being moved outside the package, and building the
+// Decide ball through core.NewBall now that Ball no longer exposes a map)
+// as a comparison baseline for the BenchmarkAlternating* benchmarks and as
+// a differential-testing oracle: every gather round it re-floods the whole
+// known ball as a fresh []*BallRecord, keeps the ball in a freshly
+// allocated map per window, rebuilds the active-id slice in both
+// beginWindow and gather, allocates a degree-sized send slice per
+// announce/gather round, and re-walks the plan schedule from scratch at
+// every window of every node.
+
+import (
+	"math/rand/v2"
+
+	"github.com/unilocal/unilocal/internal/core"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+func newAlternatingLegacy(name string, plan core.Plan, pruner core.Pruner) local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: name,
+		NewNode: func(info local.Info) local.Node {
+			n := &legacyAltNode{info: info, plan: plan, pruner: pruner, input: info.Input}
+			n.activePorts = make([]int, info.Degree)
+			for p := range n.activePorts {
+				n.activePorts[p] = p
+			}
+			return n
+		},
+	}
+}
+
+// legacyGatherMsg floods whole-ball record sets during the pruning phase.
+type legacyGatherMsg struct {
+	records []*core.BallRecord
+}
+
+// legacyAnnounceMsg reports whether the sender survives.
+type legacyAnnounceMsg struct {
+	surviving bool
+}
+
+type legacyAltNode struct {
+	info   local.Info
+	plan   core.Plan
+	pruner core.Pruner
+
+	k      int
+	step   core.Step
+	offset int
+	sub    *local.Subrun
+
+	activePorts []int
+	input       any
+	tentative   any
+	known       map[int64]*core.BallRecord
+	decision    core.Decision
+	exhausted   bool
+}
+
+func (n *legacyAltNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if n.exhausted {
+		return nil, false
+	}
+	if n.offset == 0 && !n.beginWindow() {
+		return nil, false
+	}
+	budget := n.step.Budget
+	radius := n.pruner.Radius()
+	var send []local.Message
+	switch {
+	case n.offset < budget: // run phase
+		send = n.stepInner(recv)
+	case n.offset < budget+radius: // gather phase
+		send = n.gather(n.offset-budget == 0, recv)
+	case n.offset == budget+radius: // announce phase
+		n.mergeRecords(recv)
+		records := make([]core.BallRecord, 0, len(n.known))
+		for _, rec := range n.known {
+			records = append(records, *rec)
+		}
+		n.decision = n.pruner.Decide(core.NewBall(n.info.ID, records))
+		n.known = nil
+		send = n.broadcastActive(legacyAnnounceMsg{surviving: !n.decision.Prune})
+		if n.decision.Prune {
+			return send, true
+		}
+	default: // absorb phase
+		n.absorb(recv)
+		n.k++
+		n.offset = 0
+		return nil, false
+	}
+	n.offset++
+	return send, false
+}
+
+func (n *legacyAltNode) beginWindow() bool {
+	step, ok := n.plan.Step(n.k)
+	if !ok {
+		n.exhausted = true
+		return false
+	}
+	if step.Budget < 1 {
+		step.Budget = 1
+	}
+	n.step = step
+	ids := make([]int64, len(n.activePorts))
+	for i, p := range n.activePorts {
+		ids[i] = n.info.Neighbors[p]
+	}
+	info := local.Info{
+		ID:        n.info.ID,
+		Degree:    len(n.activePorts),
+		Neighbors: ids,
+		Input:     n.input,
+		Rand:      rand.New(rand.NewPCG(n.info.Rand.Uint64(), n.info.Rand.Uint64())),
+	}
+	n.sub = local.NewSubrun(step.Algo.New(info), n.activePorts)
+	return true
+}
+
+func (n *legacyAltNode) stepInner(recv []local.Message) []local.Message {
+	send := n.sub.Step(recv, n.info.Degree)
+	if n.offset+1 == n.step.Budget {
+		n.tentative = n.sub.Output()
+		n.sub = nil
+	}
+	return send
+}
+
+func (n *legacyAltNode) gather(first bool, recv []local.Message) []local.Message {
+	if first {
+		ids := make([]int64, len(n.activePorts))
+		for i, p := range n.activePorts {
+			ids[i] = n.info.Neighbors[p]
+		}
+		n.known = map[int64]*core.BallRecord{n.info.ID: {
+			ID:        n.info.ID,
+			Dist:      0,
+			Input:     n.input,
+			Tentative: n.tentative,
+			Neighbors: ids,
+		}}
+	} else {
+		n.mergeRecords(recv)
+	}
+	records := make([]*core.BallRecord, 0, len(n.known))
+	for _, rec := range n.known {
+		records = append(records, rec)
+	}
+	return n.broadcastActive(legacyGatherMsg{records: records})
+}
+
+func (n *legacyAltNode) mergeRecords(recv []local.Message) {
+	for _, p := range n.activePorts {
+		gm, ok := recv[p].(legacyGatherMsg)
+		if !ok {
+			continue
+		}
+		for _, rec := range gm.records {
+			d := rec.Dist + 1
+			if have, seen := n.known[rec.ID]; !seen {
+				cp := &core.BallRecord{ID: rec.ID, Dist: d, Input: rec.Input, Tentative: rec.Tentative, Neighbors: rec.Neighbors}
+				n.known[rec.ID] = cp
+			} else if d < have.Dist {
+				have.Dist = d
+			}
+		}
+	}
+}
+
+func (n *legacyAltNode) absorb(recv []local.Message) {
+	next := n.activePorts[:0]
+	for _, p := range n.activePorts {
+		if am, ok := recv[p].(legacyAnnounceMsg); ok && am.surviving {
+			next = append(next, p)
+		}
+	}
+	n.activePorts = next
+	if n.decision.NewInput != nil {
+		n.input = n.decision.NewInput
+	}
+}
+
+func (n *legacyAltNode) broadcastActive(msg local.Message) []local.Message {
+	if len(n.activePorts) == 0 {
+		return nil
+	}
+	send := make([]local.Message, n.info.Degree)
+	for _, p := range n.activePorts {
+		send[p] = msg
+	}
+	return send
+}
+
+func (n *legacyAltNode) Output() any { return n.tentative }
+
+var _ local.Node = (*legacyAltNode)(nil)

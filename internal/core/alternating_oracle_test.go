@@ -1,0 +1,227 @@
+package core_test
+
+// Differential tests pinning the refactored alternating hot path (delta
+// flooding, pooled pruning state, memoized plans) to the frozen legacy
+// implementation: for every plan family of the paper (Theorem 1, Theorem 2,
+// Theorem 4), across graph families, seeds and worker counts, the two
+// implementations must produce byte-identical Results — outputs, halt
+// rounds, running time and message count.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/algorithms/colormis"
+	"github.com/unilocal/unilocal/internal/algorithms/luby"
+	"github.com/unilocal/unilocal/internal/algorithms/matching"
+	"github.com/unilocal/unilocal/internal/core"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// oracleMISEngine mirrors the Theorem 1 colormis wiring of the engines
+// package (core_test cannot reuse the in-package test helpers).
+func oracleMISEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "colormis",
+		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return colormis.New(g[0], int64(g[1]))
+		},
+	}
+	return nu, core.Additive(colormis.BoundDelta, colormis.BoundM)
+}
+
+func oracleLubyEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "luby-truncated",
+		ParamList: []core.Param{core.ParamN},
+		Build: func(g []int) local.Algorithm {
+			return luby.Truncated(g[0])
+		},
+	}
+	return nu, core.Additive(func(n int) int { return luby.Rounds(n) })
+}
+
+func oracleMatchingEngine() (core.NonUniform, core.SetSequence) {
+	nu := core.NonUniformFunc{
+		AlgoName:  "line-matching",
+		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(g []int) local.Algorithm {
+			return matching.New(g[0], int64(g[1]))
+		},
+	}
+	return nu, core.Additive(matching.BoundDelta, matching.BoundM)
+}
+
+// oraclePairs builds (current, legacy) algorithm pairs wired identically.
+// The legacy side consumes the raw plan, exactly as the old code did; the
+// current side memoizes it inside NewAlternating.
+func oraclePairs() map[string][2]local.Algorithm {
+	misNU, misSeq := oracleMISEngine()
+	lubyNU, lubySeq := oracleLubyEngine()
+	mmNU, mmSeq := oracleMatchingEngine()
+
+	pairs := map[string][2]local.Algorithm{
+		"theorem1-mis": {
+			core.NewAlternating("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner()),
+			newAlternatingLegacy("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner()),
+		},
+		"theorem2-lasvegas": {
+			core.NewAlternating("t2", core.Theorem2Plan(lubyNU, lubySeq), core.MISPruner()),
+			newAlternatingLegacy("t2", core.Theorem2Plan(lubyNU, lubySeq), core.MISPruner()),
+		},
+		"theorem1-matching": {
+			core.NewAlternating("t1mm", core.Theorem1Plan(mmNU, mmSeq), core.MatchingPruner()),
+			newAlternatingLegacy("t1mm", core.Theorem1Plan(mmNU, mmSeq), core.MatchingPruner()),
+		},
+	}
+	// Theorem 4 nests alternating algorithms: the combined racer is itself
+	// an alternating algorithm over two engines, one of which is another
+	// alternating algorithm.
+	inner := core.NewAlternating("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner())
+	innerLegacy := newAlternatingLegacy("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner())
+	pairs["theorem4-fastest"] = [2]local.Algorithm{
+		core.NewAlternating("t4", core.Theorem4Plan([]local.Algorithm{inner, luby.New()}), core.MISPruner()),
+		newAlternatingLegacy("t4", core.Theorem4Plan([]local.Algorithm{innerLegacy, luby.New()}), core.MISPruner()),
+	}
+	return pairs
+}
+
+func oracleGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	gnp, err := graph.GNP(120, 0.045, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, _ := graph.Cycle(36)
+	return map[string]*graph.Graph{
+		"gnp":    gnp,
+		"cycle":  cyc,
+		"star":   graph.Star(24),
+		"tree":   graph.RandomTree(70, 9),
+		"clique": graph.Complete(10),
+	}
+}
+
+func TestAlternatingMatchesLegacyOracle(t *testing.T) {
+	graphs := oracleGraphs(t)
+	seeds := []int64{0, 1, 7}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for name, pair := range oraclePairs() {
+		t.Run(name, func(t *testing.T) {
+			for gname, g := range graphs {
+				for _, seed := range seeds {
+					want, err := local.Run(g, pair[1], local.Options{Seed: seed, Sequential: true})
+					if err != nil {
+						t.Fatalf("%s seed %d: legacy: %v", gname, seed, err)
+					}
+					for _, opts := range []local.Options{
+						{Seed: seed, Sequential: true},
+						{Seed: seed, Workers: 4},
+						{Seed: seed, Workers: 13},
+					} {
+						got, err := local.Run(g, pair[0], opts)
+						if err != nil {
+							t.Fatalf("%s seed %d workers %d: %v", gname, seed, opts.Workers, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s seed %d workers %d: Result diverges from legacy oracle:\n got: rounds=%d msgs=%d\nwant: rounds=%d msgs=%d\noutputs equal: %v",
+								gname, seed, opts.Workers, got.Rounds, got.Messages, want.Rounds, want.Messages,
+								reflect.DeepEqual(got.Outputs, want.Outputs))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlternatingSharedAcrossRuns pins the plan-cache sharing rule: one
+// algorithm value (with its shared memoized plan) reused across many
+// concurrent Runs must behave exactly like a fresh instance per Run.
+func TestAlternatingSharedAcrossRuns(t *testing.T) {
+	misNU, misSeq := oracleMISEngine()
+	shared := core.NewAlternating("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner())
+	g := oracleGraphs(t)["gnp"]
+
+	type outcome struct {
+		res *local.Result
+		err error
+	}
+	const runs = 8
+	results := make([]outcome, runs)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			res, err := local.Run(g, shared, local.Options{Seed: int64(i % 2), Workers: 3})
+			results[i] = outcome{res, err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for i, out := range results {
+		if out.err != nil {
+			t.Fatalf("run %d: %v", i, out.err)
+		}
+		fresh := core.NewAlternating("t1", core.Theorem1Plan(misNU, misSeq), core.MISPruner())
+		want, err := local.Run(g, fresh, local.Options{Seed: int64(i % 2), Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.res, want) {
+			t.Fatalf("run %d: shared-instance Result diverges from fresh instance", i)
+		}
+	}
+}
+
+// TestMemoPlanMatchesRaw checks the cache against the raw schedules step by
+// step, including exhaustion, under interleaved out-of-order access.
+func TestMemoPlanMatchesRaw(t *testing.T) {
+	misNU, misSeq := oracleMISEngine()
+	lubyNU, lubySeq := oracleLubyEngine()
+	// Probe depths stay within the window indices an execution can actually
+	// reach for plans that construct inner algorithms eagerly (cache
+	// extension materialises every intermediate step, and colormis.New at
+	// near-saturated guesses computes a gigantic Linial schedule); plans
+	// over prebuilt algorithms are probed deep, past exhaustion.
+	plans := map[string]struct {
+		mk    func() core.Plan
+		order []int
+	}{
+		"theorem1": {func() core.Plan { return core.Theorem1Plan(misNU, misSeq) },
+			[]int{5, 0, 8, 3, 8, 1, 0}},
+		"theorem2": {func() core.Plan { return core.Theorem2Plan(lubyNU, lubySeq) },
+			[]int{5, 0, 17, 3, 17, 64, 1, 200, 64, 0}},
+		"theorem4": {func() core.Plan { return core.Theorem4Plan([]local.Algorithm{luby.New()}) },
+			[]int{5, 0, 17, 3, 17, 64, 1, 200, 64, 0}},
+	}
+	for name, tc := range plans {
+		t.Run(name, func(t *testing.T) {
+			raw := tc.mk()
+			memo := core.MemoPlan(tc.mk())
+			// Out-of-order probes, repeated to hit both cold and warm paths.
+			for _, k := range tc.order {
+				wantStep, wantOK := raw.Step(k)
+				gotStep, gotOK := memo.Step(k)
+				if wantOK != gotOK || wantStep.Budget != gotStep.Budget {
+					t.Fatalf("Step(%d): memo (budget=%d, ok=%v) != raw (budget=%d, ok=%v)",
+						k, gotStep.Budget, gotOK, wantStep.Budget, wantOK)
+				}
+				if gotOK && fmt.Sprint(gotStep.Algo.Name()) != fmt.Sprint(wantStep.Algo.Name()) {
+					t.Fatalf("Step(%d): algo %q != %q", k, gotStep.Algo.Name(), wantStep.Algo.Name())
+				}
+			}
+		})
+	}
+	// Idempotent wrapping.
+	m := core.MemoPlan(core.Theorem4Plan(nil))
+	if core.MemoPlan(m) != m {
+		t.Fatal("MemoPlan re-wrapped an already-memoized plan")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MemoPlan wraps a plan in a shared, lazily-extended step cache. Plans are
+// pure functions of the step index, but the transformer schedules walk
+// non-trivial arithmetic per call — Theorem1Plan re-runs the doubling loop
+// and materialises SetSequence.Sets vectors from scratch — and the
+// alternating algorithm calls Step(k) once per node per window. Memoizing
+// turns n·w schedule walks into one per distinct k for the whole network.
+//
+// The cache is safe for concurrent use from any number of nodes, workers
+// and simultaneous Runs. The read path is lock-free: an atomic pointer to
+// an immutable (steps, done) snapshot, so a warm Step costs one atomic load
+// and no allocation (enforced by TestMemoPlanStepAllocs). Extension takes a
+// mutex, appends, and publishes a fresh snapshot; readers of older
+// snapshots never index past their own length, so sharing the backing
+// array across snapshots is race-free. An RWMutex variant was benchmarked
+// (BenchmarkPlanStep) and loses on the warm path — RLock/RUnlock cost more
+// than the atomic load and contend under the engine's worker fan-out.
+//
+// Wrapping an already-memoized plan returns it unchanged. Cached Steps
+// share their Algo values across all nodes and windows; local.Algorithm
+// requires New to be safe for concurrent use, so this is within contract
+// (Theorem4Plan always shared its algos this way).
+//
+// Extension is sequential: Step(k) materialises every step up to k,
+// constructing each step's Algo eagerly — the same prefix an execution
+// reaching window k would have constructed node by node. Callers must not
+// probe far beyond the reachable window range of plans whose step
+// construction is expensive at saturated guesses (an execution never gets
+// there: window budgets grow geometrically, so the engine's round cap
+// fires first).
+func MemoPlan(plan Plan) Plan {
+	if m, ok := plan.(*memoPlan); ok {
+		return m
+	}
+	m := &memoPlan{inner: plan}
+	m.view.Store(&memoPlanView{})
+	return m
+}
+
+type memoPlan struct {
+	inner Plan
+	mu    sync.Mutex // serialises extension
+	view  atomic.Pointer[memoPlanView]
+}
+
+// memoPlanView is an immutable snapshot of the cache: the first len(steps)
+// steps of the plan, plus whether the plan exhausted at that length.
+type memoPlanView struct {
+	steps []Step
+	done  bool
+}
+
+func (m *memoPlan) Step(k int) (Step, bool) {
+	if k < 0 {
+		return Step{}, false
+	}
+	v := m.view.Load()
+	if k < len(v.steps) {
+		return v.steps[k], true
+	}
+	if v.done {
+		return Step{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v = m.view.Load()
+	steps, done := v.steps, v.done
+	for !done && len(steps) <= k {
+		s, ok := m.inner.Step(len(steps))
+		if !ok {
+			done = true
+			break
+		}
+		steps = append(steps, s)
+	}
+	m.view.Store(&memoPlanView{steps: steps, done: done})
+	if k < len(steps) {
+		return steps[k], true
+	}
+	return Step{}, false
+}
+
+var _ Plan = (*memoPlan)(nil)

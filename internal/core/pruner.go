@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // This file defines the pruning-algorithm abstraction of Section 3. A
 // pruning algorithm P takes a triplet (G, x, ŷ) — graph, input vector,
 // tentative output vector — and selects a set W of nodes to prune, possibly
@@ -16,8 +18,10 @@ package core
 // evaluates Decide on it. This matches the paper's convention that a
 // pruning algorithm is a uniform constant-time local algorithm.
 
-// BallNode is one record of a gathered ball view.
-type BallNode struct {
+// BallRecord is one record of a gathered ball view. Records are plain
+// values: the gather phase floods them as flat slices and stores them in a
+// per-node arena, so a ball never owns per-record heap objects.
+type BallRecord struct {
 	// ID is the node's identity.
 	ID int64
 	// Dist is its distance from the ball's centre in the induced graph.
@@ -29,11 +33,12 @@ type BallNode struct {
 	// arbitrary outputs); pruners must treat such values as non-solutions.
 	Tentative any
 	// Neighbors lists the identities of its neighbours in the induced graph.
+	// The slice is shared and immutable for the lifetime of the ball.
 	Neighbors []int64
 }
 
 // HasNeighbor reports whether the record lists the given identity.
-func (b *BallNode) HasNeighbor(id int64) bool {
+func (b *BallRecord) HasNeighbor(id int64) bool {
 	for _, x := range b.Neighbors {
 		if x == id {
 			return true
@@ -42,19 +47,76 @@ func (b *BallNode) HasNeighbor(id int64) bool {
 	return false
 }
 
-// Ball is the radius-r view around a node.
+// Ball is the radius-r view around a node. Its records live in one flat
+// slice ordered by non-decreasing Dist (BFS discovery order), with the
+// centre first; the order is deterministic, so pruners that scan Records()
+// are replay-stable and may stop early once Dist exceeds their horizon.
 type Ball struct {
 	// CenterID is the identity of the node deciding.
 	CenterID int64
-	// Nodes maps identities to records; it always contains the centre.
-	Nodes map[int64]*BallNode
+
+	records []BallRecord
+	index   map[int64]int32
+}
+
+// NewBall assembles a ball from loose records (one of which must carry
+// CenterID = centerID). It is the constructor used by tests and by central
+// (non-distributed) gathers; the transformer hot path builds balls in place
+// from its pooled arena instead. Records are re-ordered to the canonical
+// (Dist, ID) order with the centre first.
+func NewBall(centerID int64, records []BallRecord) *Ball {
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].ID == centerID {
+			return records[j].ID != centerID
+		}
+		if records[j].ID == centerID {
+			return false
+		}
+		if records[i].Dist != records[j].Dist {
+			return records[i].Dist < records[j].Dist
+		}
+		return records[i].ID < records[j].ID
+	})
+	b := &Ball{CenterID: centerID, records: records, index: make(map[int64]int32, len(records))}
+	for i := range records {
+		b.index[records[i].ID] = int32(i)
+	}
+	return b
+}
+
+// reset points the ball at an externally pooled arena and index. The arena
+// must hold the centre record first and be in BFS discovery order.
+func (b *Ball) reset(centerID int64, records []BallRecord, index map[int64]int32) {
+	b.CenterID = centerID
+	b.records = records
+	b.index = index
 }
 
 // Center returns the centre record.
-func (b *Ball) Center() *BallNode { return b.Nodes[b.CenterID] }
+func (b *Ball) Center() *BallRecord {
+	if len(b.records) > 0 && b.records[0].ID == b.CenterID {
+		return &b.records[0]
+	}
+	return b.Get(b.CenterID)
+}
 
-// Get returns the record with the given identity, or nil.
-func (b *Ball) Get(id int64) *BallNode { return b.Nodes[id] }
+// Get returns the record with the given identity, or nil. The pointer is
+// into the ball's backing array and is only valid for the duration of the
+// Decide call that received the ball.
+func (b *Ball) Get(id int64) *BallRecord {
+	if i, ok := b.index[id]; ok {
+		return &b.records[i]
+	}
+	return nil
+}
+
+// Records returns the full record slice in non-decreasing Dist order with
+// the centre first. Callers must treat it as read-only and must not retain
+// it past the Decide call.
+func (b *Ball) Records() []BallRecord { return b.records }
+
+// Len returns the number of records in the ball.
+func (b *Ball) Len() int { return len(b.records) }
 
 // Decision is a pruner's verdict for one node.
 type Decision struct {
@@ -69,7 +131,9 @@ type Decision struct {
 // Pruner is a pruning algorithm. Decide must be a pure function of the ball
 // (it runs concurrently at every node) and must satisfy solution detection
 // and gluing for its problem; the tests in this package check both
-// properties on randomized instances.
+// properties on randomized instances. Decide must not retain the ball or
+// any record pointer obtained from it: the backing storage is pooled and
+// rewritten by the next window.
 type Pruner interface {
 	Name() string
 	// Radius is the ball radius Decide inspects; the framework charges

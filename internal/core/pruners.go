@@ -36,11 +36,11 @@ func (p rulingPruner) Name() string { return fmt.Sprintf("P(2,%d)", p.beta) }
 func (p rulingPruner) Radius() int { return p.beta + 1 }
 
 func (p rulingPruner) Decide(b *Ball) Decision {
-	selected := func(n *BallNode) bool {
+	selected := func(n *BallRecord) bool {
 		v, ok := n.Tentative.(bool)
 		return ok && v
 	}
-	isolatedMember := func(n *BallNode) bool {
+	isolatedMember := func(n *BallRecord) bool {
 		if !selected(n) {
 			return false
 		}
@@ -55,8 +55,14 @@ func (p rulingPruner) Decide(b *Ball) Decision {
 	if selected(c) {
 		return Decision{Prune: isolatedMember(c)}
 	}
-	for _, n := range b.Nodes {
-		if n.Dist <= p.beta && isolatedMember(n) {
+	// Records are in non-decreasing Dist order, so the scan for a dominating
+	// member stops at the first record beyond distance beta.
+	recs := b.Records()
+	for i := range recs {
+		if recs[i].Dist > p.beta {
+			break
+		}
+		if isolatedMember(&recs[i]) {
 			return Decision{Prune: true}
 		}
 	}
@@ -92,7 +98,7 @@ func (matchingPruner) Name() string { return "P_MM" }
 func (matchingPruner) Radius() int { return 3 }
 
 func (matchingPruner) Decide(b *Ball) Decision {
-	val := func(n *BallNode) problems.EdgeClaim {
+	val := func(n *BallRecord) problems.EdgeClaim {
 		if n == nil {
 			return problems.EdgeClaim{A: -1, B: -1} // unknown: equals nothing
 		}
@@ -106,7 +112,7 @@ func (matchingPruner) Decide(b *Ball) Decision {
 		}
 	}
 	// matched reports the canonical predicate for adjacent records u, v.
-	matched := func(u, v *BallNode) bool {
+	matched := func(u, v *BallRecord) bool {
 		if u == nil || v == nil || !u.HasNeighbor(v.ID) {
 			return false
 		}

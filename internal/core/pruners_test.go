@@ -22,7 +22,6 @@ func decideAll(g *graph.Graph, p Pruner, inputs, outputs []any) []bool {
 // buildBall gathers the radius-R ball around u centrally (test-only
 // counterpart of the distributed gather phase).
 func buildBall(g *graph.Graph, radius, u int, inputs, outputs []any) *Ball {
-	nodes := make(map[int64]*BallNode)
 	dist := map[int]int{u: 0}
 	queue := []int{u}
 	for head := 0; head < len(queue); head++ {
@@ -36,7 +35,8 @@ func buildBall(g *graph.Graph, radius, u int, inputs, outputs []any) *Ball {
 			}
 		}
 	}
-	for x, d := range dist {
+	records := make([]BallRecord, 0, len(queue))
+	for _, x := range queue {
 		var in, out any
 		if inputs != nil {
 			in = inputs[x]
@@ -44,15 +44,15 @@ func buildBall(g *graph.Graph, radius, u int, inputs, outputs []any) *Ball {
 		if outputs != nil {
 			out = outputs[x]
 		}
-		nodes[g.ID(x)] = &BallNode{
+		records = append(records, BallRecord{
 			ID:        g.ID(x),
-			Dist:      d,
+			Dist:      dist[x],
 			Input:     in,
 			Tentative: out,
 			Neighbors: g.NeighborIDs(nil, x),
-		}
+		})
 	}
-	return &Ball{CenterID: g.ID(u), Nodes: nodes}
+	return NewBall(g.ID(u), records)
 }
 
 func boolsToAny(bs []bool) []any {

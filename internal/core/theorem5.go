@@ -97,7 +97,7 @@ func (p slcPruner) Decide(b *Ball) Decision {
 
 // pruned evaluates the prune predicate for any record whose neighbourhood
 // is inside the ball.
-func (slcPruner) pruned(b *Ball, x *BallNode) bool {
+func (slcPruner) pruned(b *Ball, x *BallRecord) bool {
 	in, ok := x.Input.(*SLCInput)
 	if !ok {
 		return false

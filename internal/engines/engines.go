@@ -5,6 +5,15 @@
 // paper's machinery (Theorems 1–5 and Section 5.1). The benchmark harness,
 // the command-line tools and the examples all build on this package, so the
 // wiring of each experiment lives in exactly one place.
+//
+// Every uniform algorithm returned here is an alternating algorithm whose
+// plan is backed by a shared memoized step cache (core.MemoPlan, see
+// DESIGN.md §2.5): construct it once and reuse the value across any number
+// of graphs, seeds and concurrent Runs — the schedule arithmetic is paid
+// once per step index for the lifetime of the value, and results are
+// byte-identical to a fresh instance per run. Constructing a new algorithm
+// per run (as a throwaway script might) is correct but re-pays the
+// schedule walks.
 package engines
 
 import (

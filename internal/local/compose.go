@@ -1,5 +1,7 @@
 package local
 
+import "math/rand/v2"
+
 // This file implements the Section 2 machinery of the paper: sequential
 // composition A1;A2 of local algorithms under non-simultaneous wake-up via
 // the α-synchronizer, plus round restriction ("the algorithm A restricted to
@@ -32,9 +34,12 @@ type pos struct{ s, t int }
 func (p pos) less(q pos) bool { return p.s < q.s || (p.s == q.s && p.t < q.t) }
 
 // composeEnv is the envelope exchanged by composed nodes. Envelopes are sent
-// by pointer and immutable once sent: a round with no payloads shares one
-// envelope across all ports, so the synchronizer's stall and sleep rounds
-// (the bulk of a skewed-wake-up execution) cost one allocation instead of Δ.
+// by pointer and a round with no payloads shares one envelope across all
+// ports. Envelope storage is double-buffered by round parity instead of
+// allocated per round: a receiver reads an envelope only in the round after
+// it was sent, and the sender rewrites a parity's envelopes no sooner than
+// two rounds after they were last sent, so the reuse is race-free (the same
+// argument as the engine's two message lanes).
 type composeEnv struct {
 	at      pos
 	payload Message
@@ -54,14 +59,21 @@ func Compose(name string, stages ...Stage) Algorithm {
 				n.seen[p] = pos{-1, -1}
 			}
 			n.nbDone = make([]bool, info.Degree)
-			n.buf = make([]map[pos]Message, info.Degree)
-			for p := range n.buf {
-				n.buf[p] = make(map[pos]Message)
-			}
 			n.startStage()
 			return n
 		},
 	}
+}
+
+// bufEntry is one buffered early payload: the port it arrived on, the
+// position it was sent from, and the message. The α-synchronizer keeps
+// neighbours within one position of each other (plus one free step at a
+// stage boundary), so a node holds only O(degree) entries at a time and a
+// linear scan beats a per-port map.
+type bufEntry struct {
+	p   int
+	at  pos
+	msg Message
 }
 
 type composeNode struct {
@@ -74,13 +86,24 @@ type composeNode struct {
 
 	seen   []pos
 	nbDone []bool
-	buf    []map[pos]Message
+	buf    []bufEntry
 
-	// innerRecv and envs are per-round scratch buffers, reused across rounds
-	// (the engine consumes a returned send slice before the next Round call,
-	// so handing out the same backing array every round is safe).
-	innerRecv []Message
-	envs      []Message
+	// innerRecv and envs are per-round scratch buffers carved from one
+	// backing array, reused across rounds (the engine consumes a returned
+	// send slice before the next Round call, so handing out the same array
+	// every round is safe). quiet and payloadEnvs hold the envelope objects
+	// themselves, double-buffered by the parity of the sending round
+	// (payloadEnvs slot parity*degree+port).
+	innerRecv   []Message
+	envs        []Message
+	quiet       [2]composeEnv
+	payloadEnvs []composeEnv
+
+	// stagePCG/stageRand are the per-stage RNG handed to the stage's inner
+	// node, reseeded in place at every stage start with the seeds a fresh
+	// DeriveRand would use; the previous stage's node is dead by then.
+	stagePCG  rand.PCG
+	stageRand *rand.Rand
 }
 
 // startStage instantiates the state machine for the current stage.
@@ -94,7 +117,11 @@ func (n *composeNode) startStage() {
 	}
 	info := n.info
 	info.Input = input
-	info.Rand = DeriveRand(int64(n.info.Rand.Uint64()), n.info.ID, uint64(n.at.s))
+	n.stagePCG.Seed(DeriveSeeds(int64(n.info.Rand.Uint64()), n.info.ID, uint64(n.at.s)))
+	if n.stageRand == nil {
+		n.stageRand = rand.New(&n.stagePCG)
+	}
+	info.Rand = n.stageRand
 	n.inner = st.Algo.New(info)
 }
 
@@ -114,7 +141,7 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 			n.nbDone[p] = true
 		}
 		if env.payload != nil {
-			n.buf[p][env.at] = env.payload
+			n.buf = append(n.buf, bufEntry{p: p, at: env.at, msg: env.payload})
 		}
 	}
 	// α-synchronizer rule: step (s,t) requires every neighbour at >= (s,t-1).
@@ -127,16 +154,23 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 		}
 	}
 	if n.innerRecv == nil {
-		n.innerRecv = make([]Message, n.info.Degree)
+		scratch := make([]Message, 2*n.info.Degree)
+		n.innerRecv, n.envs = scratch[:n.info.Degree:n.info.Degree], scratch[n.info.Degree:]
 	}
 	innerRecv := n.innerRecv
-	key := pos{n.at.s, n.at.t - 1}
 	for p := range innerRecv {
 		innerRecv[p] = nil
-		if n.at.t > 0 {
-			if msg, ok := n.buf[p][key]; ok {
-				innerRecv[p] = msg
-				delete(n.buf[p], key)
+	}
+	if n.at.t > 0 {
+		key := pos{n.at.s, n.at.t - 1}
+		for i := 0; i < len(n.buf); {
+			if n.buf[i].at == key {
+				innerRecv[n.buf[i].p] = n.buf[i].msg
+				n.buf[i] = n.buf[len(n.buf)-1]
+				n.buf[len(n.buf)-1] = bufEntry{}
+				n.buf = n.buf[:len(n.buf)-1]
+			} else {
+				i++
 			}
 		}
 	}
@@ -154,16 +188,20 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 			finished = true
 		}
 	}
-	if n.envs == nil {
-		n.envs = make([]Message, n.info.Degree)
-	}
 	envs := n.envs
+	parity := r & 1
 	// Ports without a payload share a single envelope; only payload-carrying
-	// ports need their own.
-	quiet := &composeEnv{at: stepped, allDone: finished}
+	// ports need their own, taken from this parity's half of the pool.
+	quiet := &n.quiet[parity]
+	*quiet = composeEnv{at: stepped, allDone: finished}
 	for p := 0; p < n.info.Degree; p++ {
 		if len(send) > 0 && send[p] != nil {
-			envs[p] = &composeEnv{at: stepped, payload: send[p], allDone: finished}
+			if n.payloadEnvs == nil {
+				n.payloadEnvs = make([]composeEnv, 2*n.info.Degree)
+			}
+			env := &n.payloadEnvs[parity*n.info.Degree+p]
+			*env = composeEnv{at: stepped, payload: send[p], allDone: finished}
+			envs[p] = env
 		} else {
 			envs[p] = quiet
 		}
@@ -174,13 +212,17 @@ func (n *composeNode) Round(r int, recv []Message) ([]Message, bool) {
 // dropStaleBuffers discards buffered messages from stages <= s, which can no
 // longer be consumed.
 func (n *composeNode) dropStaleBuffers(s int) {
-	for p := range n.buf {
-		for k := range n.buf[p] {
-			if k.s <= s {
-				delete(n.buf[p], k)
-			}
+	keep := 0
+	for i := range n.buf {
+		if n.buf[i].at.s > s {
+			n.buf[keep] = n.buf[i]
+			keep++
 		}
 	}
+	for i := keep; i < len(n.buf); i++ {
+		n.buf[i] = bufEntry{}
+	}
+	n.buf = n.buf[:keep]
 }
 
 func (n *composeNode) Output() any { return n.prevOut }
@@ -282,6 +324,34 @@ func NewSubrun(inner Node, ports []int) *Subrun {
 	return &Subrun{inner: inner, ports: ports}
 }
 
+// Reset re-arms the subrun with a fresh inner node and port set, keeping
+// the scratch buffers. Hosts that run one sub-execution per window (the
+// alternating algorithm) reuse a single Subrun this way instead of
+// allocating one per window.
+func (s *Subrun) Reset(inner Node, ports []int) {
+	s.inner = inner
+	s.ports = ports
+	s.t = 0
+	s.done = false
+	s.output = nil
+	// Step only writes the slots of the current ports, so slots of ports
+	// dropped by this Reset must not keep last window's messages.
+	for i := range s.sendBuf {
+		s.sendBuf[i] = nil
+	}
+}
+
+// Clear drops the inner node and makes further Step calls no-ops, so a
+// host that has taken its tentative output can release the window's state
+// without discarding the pooled buffers. Output keeps returning the value
+// captured at the last completed Step.
+func (s *Subrun) Clear() {
+	s.output = s.Output()
+	s.inner = nil
+	s.ports = nil
+	s.done = true
+}
+
 // Done reports whether the inner node has terminated.
 func (s *Subrun) Done() bool { return s.done }
 
@@ -304,9 +374,10 @@ func (s *Subrun) Step(recv []Message, hostDeg int) []Message {
 	if s.done {
 		return nil
 	}
-	if s.recvBuf == nil {
+	if cap(s.recvBuf) < len(s.ports) {
 		s.recvBuf = make([]Message, len(s.ports))
 	}
+	s.recvBuf = s.recvBuf[:len(s.ports)]
 	for i, p := range s.ports {
 		s.recvBuf[i] = recv[p]
 	}

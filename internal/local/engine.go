@@ -93,12 +93,16 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	halted := make([]bool, n)
 	haltRounds := make([]int, n)
 	outputs := make([]any, n)
+	// All neighbour-ID slices are carved from one flat arena (the CSR
+	// layout makes the total exactly 2|E|), one allocation instead of n.
+	idArena := make([]int64, 0, 2*g.NumEdges())
 	for u := 0; u < n; u++ {
-		deg := g.Degree(u)
+		start := len(idArena)
+		idArena = g.NeighborIDs(idArena, u)
 		info := Info{
 			ID:        g.ID(u),
-			Degree:    deg,
-			Neighbors: g.NeighborIDs(make([]int64, 0, deg), u),
+			Degree:    g.Degree(u),
+			Neighbors: idArena[start:len(idArena):len(idArena)],
 			Rand:      DeriveRand(opts.Seed, g.ID(u), 0),
 		}
 		states[u] = a.New(info)

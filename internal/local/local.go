@@ -104,9 +104,16 @@ func Silence() []Message { return nil }
 // simulations (lifts, transformer iterations) use it for per-incarnation
 // streams.
 func DeriveRand(seed int64, id int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(DeriveSeeds(seed, id, stream)))
+}
+
+// DeriveSeeds returns the PCG seed pair DeriveRand would use, so hosts that
+// run one child per stage or window can reseed a pooled generator in place
+// instead of allocating a fresh one per incarnation.
+func DeriveSeeds(seed int64, id int64, stream uint64) (uint64, uint64) {
 	s1 := mathutil.SplitMix64(uint64(seed) ^ mathutil.SplitMix64(uint64(id)))
 	s2 := mathutil.SplitMix64(s1 ^ mathutil.SplitMix64(stream+0x1234_5678_9abc_def0))
-	return rand.New(rand.NewPCG(s1, s2))
+	return s1, s2
 }
 
 // AlgorithmFunc adapts a New function into an Algorithm.

@@ -14,6 +14,7 @@ package problems
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/unilocal/unilocal/internal/graph"
 )
@@ -278,21 +279,23 @@ func ValidEdgeColoring(g *graph.Graph, colors []int, palette int) error {
 	if len(colors) != len(edges) {
 		return fmt.Errorf("problems: edge coloring has %d entries for %d edges", len(colors), len(edges))
 	}
-	// Two edges conflict iff they share an endpoint.
-	byNode := make([]map[int]bool, g.N())
+	// Two edges conflict iff they share an endpoint: sort each node's
+	// incident colors and scan for duplicates (flat slices, no per-node maps).
+	byNode := make([][]int, g.N())
 	for i, e := range edges {
 		c := colors[i]
 		if c < 1 || (palette > 0 && c > palette) {
 			return fmt.Errorf("problems: edge %v has color %d outside [1,%d]", e, c, palette)
 		}
-		for _, endpoint := range [2]int32{e.U, e.V} {
-			if byNode[endpoint] == nil {
-				byNode[endpoint] = make(map[int]bool, 4)
+		byNode[e.U] = append(byNode[e.U], c)
+		byNode[e.V] = append(byNode[e.V], c)
+	}
+	for u, cs := range byNode {
+		sort.Ints(cs)
+		for i := 1; i < len(cs); i++ {
+			if cs[i] == cs[i-1] {
+				return fmt.Errorf("problems: node %d sees color %d twice", u, cs[i])
 			}
-			if byNode[endpoint][c] {
-				return fmt.Errorf("problems: node %d sees color %d twice", endpoint, c)
-			}
-			byNode[endpoint][c] = true
 		}
 	}
 	return nil
@@ -321,12 +324,14 @@ func GreedyMIS(g *graph.Graph, blocked []bool) []bool {
 // GreedyColoring returns the greedy (degree+1)-coloring by node index.
 func GreedyColoring(g *graph.Graph) []int {
 	colors := make([]int, g.N())
-	used := make(map[int]bool)
+	// The greedy color of u is at most deg(u)+1, so a Δ+2 palette bitmap
+	// reused across nodes replaces the per-node map scratch.
+	used := make([]bool, g.MaxDegree()+2)
 	for u := 0; u < g.N(); u++ {
-		clear(used)
-		for _, v := range g.Neighbors(u) {
-			if colors[v] > 0 {
-				used[colors[v]] = true
+		nbs := g.Neighbors(u)
+		for _, v := range nbs {
+			if c := colors[v]; c > 0 && c < len(used) {
+				used[c] = true
 			}
 		}
 		c := 1
@@ -334,6 +339,11 @@ func GreedyColoring(g *graph.Graph) []int {
 			c++
 		}
 		colors[u] = c
+		for _, v := range nbs {
+			if c := colors[v]; c > 0 && c < len(used) {
+				used[c] = false
+			}
+		}
 	}
 	return colors
 }
