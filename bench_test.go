@@ -11,6 +11,7 @@ package unilocal
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/unilocal/unilocal/internal/algorithms/luby"
@@ -19,21 +20,32 @@ import (
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
+	"github.com/unilocal/unilocal/internal/sweep"
 )
 
-// run executes one simulation and fails the benchmark on error.
+// benchCorpus caches every benchmark topology across the whole binary run:
+// the same (family, params, seed) graph backs every benchmark that asks for
+// it, exactly as cmd/localbench shares its corpus across experiments.
+var benchCorpus = graph.NewCorpus()
+
+// run executes one simulation through the sweep scheduler (inline, one job)
+// and fails the benchmark on error.
 func run(b *testing.B, g *graph.Graph, a local.Algorithm, seed int64) *local.Result {
 	b.Helper()
-	res, err := local.Run(g, a, local.Options{Seed: seed})
-	if err != nil {
-		b.Fatal(err)
+	results, _ := sweep.Run([]sweep.Job{{
+		Graph: g,
+		Algo:  func() local.Algorithm { return a },
+		Seed:  seed,
+	}}, sweep.Options{Parallel: 1})
+	if results[0].Err != nil {
+		b.Fatal(results[0].Err)
 	}
-	return res
+	return results[0].Res
 }
 
 // benchGraphs builds the standard sweep families.
 func benchCycle(b *testing.B, n int) *graph.Graph {
-	g, err := graph.Cycle(n)
+	g, err := benchCorpus.Cycle(n)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,7 +53,7 @@ func benchCycle(b *testing.B, n int) *graph.Graph {
 }
 
 func benchRegular(b *testing.B, n, d int) *graph.Graph {
-	g, err := graph.RandomRegular(n, d, int64(n+d))
+	g, err := benchCorpus.RandomRegular(n, d, int64(n+d))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +61,7 @@ func benchRegular(b *testing.B, n, d int) *graph.Graph {
 }
 
 func benchGNP(b *testing.B, n int, avgDeg float64) *graph.Graph {
-	g, err := graph.GNP(n, avgDeg/float64(n-1), int64(n))
+	g, err := benchCorpus.GNP(n, avgDeg/float64(n-1), int64(n))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -57,13 +69,20 @@ func benchGNP(b *testing.B, n int, avgDeg float64) *graph.Graph {
 }
 
 // compare runs the non-uniform baseline (correct guesses) and the uniform
-// transform, reporting rounds and the ratio.
+// transform as one scheduler batch per iteration, reporting rounds and the
+// ratio.
 func compare(b *testing.B, g *graph.Graph, nonUniform, uniform local.Algorithm, check func([]any) error) {
 	b.Helper()
 	var nu, un *local.Result
 	for i := 0; i < b.N; i++ {
-		nu = run(b, g, nonUniform, int64(i))
-		un = run(b, g, uniform, int64(i))
+		results, _ := sweep.Run([]sweep.Job{
+			{Graph: g, Algo: func() local.Algorithm { return nonUniform }, Seed: int64(i)},
+			{Graph: g, Algo: func() local.Algorithm { return uniform }, Seed: int64(i)},
+		}, sweep.Options{Parallel: 1})
+		if err := sweep.FirstErr(results); err != nil {
+			b.Fatal(err)
+		}
+		nu, un = results[0].Res, results[1].Res
 	}
 	if err := check(un.Outputs); err != nil {
 		b.Fatal(err)
@@ -410,4 +429,77 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(nodeRounds)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// sweepBatch is the standard run-level throughput workload: a mixed batch of
+// Luby runs across graph families, sizes and seeds — many independent whole
+// simulations, the shape cmd/localbench -parallel schedules.
+func sweepBatch(b *testing.B, seeds int) []sweep.Job {
+	b.Helper()
+	var jobs []sweep.Job
+	a := luby.New()
+	for _, n := range []int{512, 1024, 2048} {
+		for _, g := range []*graph.Graph{
+			benchGNP(b, n, 8),
+			benchCycle(b, n),
+			benchRegular(b, n, 4),
+		} {
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				jobs = append(jobs, sweep.Job{
+					Graph: g,
+					Algo:  func() local.Algorithm { return a },
+					Seed:  seed,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSweepThroughput measures batch scheduling of whole simulations:
+// sequential (the old harness behaviour: one run at a time) versus one
+// scheduler worker per core. jobs/sec is the headline run-level throughput
+// metric tracked in BENCH.json; engine-allocs/job must stay near zero once
+// the per-worker pooled states are warm.
+func BenchmarkSweepThroughput(b *testing.B) {
+	jobs := sweepBatch(b, 4)
+	for _, mode := range []struct {
+		name     string
+		parallel int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(fmt.Sprintf("%s/jobs=%d", mode.name, len(jobs)), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats sweep.Stats
+			for i := 0; i < b.N; i++ {
+				results, s := sweep.Run(jobs, sweep.Options{Parallel: mode.parallel})
+				if err := sweep.FirstErr(results); err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(stats.JobsPerSec, "jobs/s")
+			b.ReportMetric(float64(stats.EngineAllocs)/float64(stats.Jobs), "engine-allocs/job")
+		})
+	}
+}
+
+// BenchmarkSweepWarmPool isolates the RunState pool: back-to-back same-shape
+// runs must be near-zero-alloc on the engine side (node construction aside),
+// the warm path every scheduler worker hits after its first job.
+func BenchmarkSweepWarmPool(b *testing.B) {
+	g := benchGNP(b, 4096, 8)
+	a := luby.New()
+	st := local.AcquireRunState(g.N(), g.NumEdges())
+	defer st.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.Run(g, a, local.Options{Seed: int64(i), Sequential: true, State: st}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Allocs()), "state-allocs-total")
 }

@@ -1,0 +1,214 @@
+// Command benchguard compares a freshly regenerated BENCH.json against the
+// committed one (benchstat-style, but over the localbench record schema
+// declared in internal/benchfmt) and fails loudly on regressions:
+//
+//   - Deterministic fields (experiment, label, algorithm, n, rounds,
+//     messages, ratio) must match record for record: a mismatch means the
+//     reproduction itself changed, which a perf PR must never do silently.
+//
+//   - Pinned hot-path experiments (-pin, default the transformer-heavy
+//     tables) must not regress their wall time by more than -tolerance
+//     (default 20%). Because the committed baseline and the fresh file are
+//     usually produced on different machines (author laptop vs CI runner),
+//     the gate is machine-normalized by default: old wall times are
+//     rescaled by the speed ratio measured on the *non-pinned* experiments
+//     (so the gated quantity never dilutes its own denominator), and only a
+//     pinned hot path growing relative to that reference trips the gate.
+//     -normalize=false compares raw wall times (same-machine A/B runs);
+//     -tolerance -1 disables the timing gate entirely.
+//
+// Files that cannot be compared meaningfully — different seed/large flags,
+// different -parallel/-workers settings, or an unknown schema version — are
+// an error, not a silent skip: a stale or misgenerated baseline must not
+// disable the gate while CI stays green.
+//
+// Usage:
+//
+//	benchguard -old BENCH.json -new BENCH.ci.json [-tolerance 0.20]
+//	           [-pin E1,E3,E6] [-normalize=true]
+//
+// CI regenerates BENCH.ci.json on every commit and runs this guard against
+// the committed BENCH.json, so a hot-path regression fails the build with a
+// per-experiment wall-time table instead of drifting by unnoticed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/unilocal/unilocal/internal/benchfmt"
+)
+
+var (
+	flagOld       = flag.String("old", "BENCH.json", "committed baseline")
+	flagNew       = flag.String("new", "BENCH.ci.json", "freshly regenerated results")
+	flagTolerance = flag.Float64("tolerance", 0.20, "max allowed wall-time regression on pinned experiments (negative disables timing checks)")
+	flagPin       = flag.String("pin", "E1,E3,E6", "comma-separated experiments pinned for the timing check")
+	flagNormalize = flag.Bool("normalize", true, "compare per-experiment shares of total wall time (machine-independent) instead of raw wall times")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*benchfmt.Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d benchfmt.Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.SchemaVersion != benchfmt.SchemaVersion {
+		return nil, fmt.Errorf("%s: schema version %d, want %d (regenerate with cmd/localbench)",
+			path, d.SchemaVersion, benchfmt.SchemaVersion)
+	}
+	return &d, nil
+}
+
+func run() error {
+	old, err := load(*flagOld)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*flagNew)
+	if err != nil {
+		return err
+	}
+	if err := checkDeterministic(old, fresh); err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: %d records deterministic-identical (seed %d)\n", len(old.Results), old.Seed)
+	if *flagTolerance < 0 {
+		fmt.Println("benchguard: timing checks disabled")
+		return nil
+	}
+	if old.Parallel != fresh.Parallel || old.Workers != fresh.Workers {
+		return fmt.Errorf("parallel/workers differ (%d/%d vs %d/%d): regenerate both files with the same flags, or pass -tolerance -1 to skip timing",
+			old.Parallel, old.Workers, fresh.Parallel, fresh.Workers)
+	}
+	return checkTimings(old, fresh)
+}
+
+// checkDeterministic requires the reproduction (what ran, and what it
+// computed) to be unchanged record for record.
+func checkDeterministic(old, fresh *benchfmt.Doc) error {
+	if old.Seed != fresh.Seed || old.Large != fresh.Large {
+		return fmt.Errorf("incomparable files: seed/large flags differ (%d/%v vs %d/%v)",
+			old.Seed, old.Large, fresh.Seed, fresh.Large)
+	}
+	if len(old.Results) != len(fresh.Results) {
+		return fmt.Errorf("record count changed: %d vs %d", len(old.Results), len(fresh.Results))
+	}
+	for i := range old.Results {
+		o, n := old.Results[i], fresh.Results[i]
+		if o.Experiment != n.Experiment || o.Label != n.Label || o.Algorithm != n.Algorithm || o.N != n.N {
+			return fmt.Errorf("record %d identity changed: %s/%s/%s/n=%d vs %s/%s/%s/n=%d",
+				i, o.Experiment, o.Label, o.Algorithm, o.N, n.Experiment, n.Label, n.Algorithm, n.N)
+		}
+		if o.Rounds != n.Rounds || o.Messages != n.Messages || o.Ratio != n.Ratio {
+			return fmt.Errorf("record %d (%s/%s) deterministic fields diverged: rounds %d→%d messages %d→%d ratio %.4f→%.4f",
+				i, o.Experiment, o.Label, o.Rounds, n.Rounds, o.Messages, n.Messages, o.Ratio, n.Ratio)
+		}
+	}
+	return nil
+}
+
+// checkTimings compares per-experiment wall time on the pinned experiments,
+// benchstat-style. With -normalize, old wall times are rescaled by the
+// machine-speed ratio measured on the non-pinned experiments, cancelling
+// uniform host differences without letting a pinned regression inflate its
+// own denominator (a 1.5x slowdown of the heaviest pinned experiment would
+// otherwise drag the whole-suite factor up and mask itself).
+func checkTimings(old, fresh *benchfmt.Doc) error {
+	pins := map[string]bool{}
+	for _, p := range strings.Split(*flagPin, ",") {
+		if p = strings.TrimSpace(strings.ToUpper(p)); p != "" {
+			pins[p] = true
+		}
+	}
+	sum := func(d *benchfmt.Doc) (perExp map[string]int64, total, unpinned int64) {
+		perExp = map[string]int64{}
+		for _, r := range d.Results {
+			perExp[r.Experiment] += r.WallNs
+			total += r.WallNs
+			if !pins[r.Experiment] {
+				unpinned += r.WallNs
+			}
+		}
+		return perExp, total, unpinned
+	}
+	oldWall, oldTotal, oldRef := sum(old)
+	newWall, newTotal, newRef := sum(fresh)
+	if oldTotal == 0 || newTotal == 0 {
+		fmt.Println("benchguard: no wall-time data; skipping timing checks")
+		return nil
+	}
+	// factor rescales old wall times onto the new machine: with -normalize
+	// it is the speed ratio of the non-pinned reference set (falling back to
+	// the whole suite when everything is pinned), without it 1 (raw
+	// comparison).
+	factor := 1.0
+	mode := "raw"
+	if *flagNormalize {
+		if oldRef > 0 && newRef > 0 {
+			factor = float64(newRef) / float64(oldRef)
+			mode = fmt.Sprintf("normalized vs non-pinned reference, machine factor %.2fx", factor)
+		} else {
+			factor = float64(newTotal) / float64(oldTotal)
+			mode = fmt.Sprintf("normalized vs whole suite (no non-pinned reference), machine factor %.2fx", factor)
+		}
+	}
+	fmt.Printf("benchguard: timing mode: %s\n", mode)
+	fmt.Println("| experiment | old ms | new ms | delta | pinned |")
+	fmt.Println("|---|---|---|---|---|")
+	var failures []string
+	for _, exp := range experimentOrder(old) {
+		o, n := oldWall[exp], newWall[exp]
+		if o == 0 {
+			continue
+		}
+		delta := float64(n)/(float64(o)*factor) - 1
+		pinned := ""
+		if pins[exp] {
+			pinned = "yes"
+			if delta > *flagTolerance {
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)",
+					exp, 100*delta, 100**flagTolerance))
+			}
+		}
+		fmt.Printf("| %s | %.1f | %.1f | %+.1f%% | %s |\n",
+			exp, float64(o)/1e6, float64(n)/1e6, 100*delta, pinned)
+	}
+	if old.Sweep.JobsPerSec > 0 && fresh.Sweep.JobsPerSec > 0 {
+		delta := fresh.Sweep.JobsPerSec/old.Sweep.JobsPerSec - 1
+		fmt.Printf("sweep throughput: %.1f → %.1f jobs/s (%+.1f%%), engine allocs %d → %d\n",
+			old.Sweep.JobsPerSec, fresh.Sweep.JobsPerSec, 100*delta,
+			old.Sweep.EngineAllocs, fresh.Sweep.EngineAllocs)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("pinned hot-path regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// experimentOrder returns the experiments in first-appearance order.
+func experimentOrder(d *benchfmt.Doc) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range d.Results {
+		if !seen[r.Experiment] {
+			seen[r.Experiment] = true
+			order = append(order, r.Experiment)
+		}
+	}
+	return order
+}

@@ -6,14 +6,24 @@
 //
 // Usage:
 //
-//	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large] [-workers N]
-//	           [-json path] [-cpuprofile path] [-memprofile path]
+//	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large]
+//	           [-parallel N] [-workers N] [-json path]
+//	           [-cpuprofile path] [-memprofile path]
+//
+// Execution is two-phase: every experiment plans its simulations as jobs,
+// the whole batch runs through the internal/sweep scheduler (N whole
+// simulations in flight with -parallel N; graphs come from a shared
+// graph.Corpus so no family is generated twice), and the tables are rendered
+// afterwards in plan order. Tables and the deterministic JSON fields are
+// therefore byte-identical for every -parallel and -workers value; only the
+// wall-clock changes.
 //
 // With -json, a machine-readable result set (schema documented in
 // EXPERIMENTS.md) is additionally written to the given path; the committed
-// BENCH.json at the repo root tracks the perf trajectory across PRs. The
-// profile flags capture standard pprof profiles of the whole run, so
-// hot-path regressions can be diagnosed without editing code.
+// BENCH.json at the repo root tracks the perf trajectory across PRs and is
+// guarded by cmd/benchguard in CI. The profile flags capture standard pprof
+// profiles of the whole run, so hot-path regressions can be diagnosed
+// without editing code.
 package main
 
 import (
@@ -24,13 +34,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"time"
 
 	"github.com/unilocal/unilocal/internal/algorithms/luby"
+	"github.com/unilocal/unilocal/internal/benchfmt"
 	"github.com/unilocal/unilocal/internal/engines"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
+	"github.com/unilocal/unilocal/internal/sweep"
 )
 
 func main() {
@@ -41,62 +52,105 @@ func main() {
 }
 
 var (
-	flagExp     = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
-	flagSeed    = flag.Int64("seed", 1, "simulation seed")
-	flagLarge   = flag.Bool("large", false, "use larger size sweeps")
-	flagWorkers = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
-	flagJSON    = flag.String("json", "", "write machine-readable results to this path")
-	flagCPU     = flag.String("cpuprofile", "", "write a CPU profile to this path")
-	flagMem     = flag.String("memprofile", "", "write a heap profile to this path")
+	flagExp      = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
+	flagSeed     = flag.Int64("seed", 1, "simulation seed")
+	flagLarge    = flag.Bool("large", false, "use larger size sweeps")
+	flagParallel = flag.Int("parallel", 1, "simulations in flight (0 = GOMAXPROCS); output is byte-identical for any value")
+	flagWorkers  = flag.Int("workers", 0, "engine worker count per simulation (0 = auto, 1 = sequential)")
+	flagJSON     = flag.String("json", "", "write machine-readable results to this path")
+	flagCPU      = flag.String("cpuprofile", "", "write a CPU profile to this path")
+	flagMem      = flag.String("memprofile", "", "write a heap profile to this path")
 )
 
-// simOpts returns the engine options for one run at the given seed.
-func simOpts(seed int64) local.Options {
-	return local.Options{Seed: seed, Workers: *flagWorkers}
+// recMeta is the planning-time half of a benchfmt.Record: everything known
+// before the job runs, plus the baseline job whose rounds this job's ratio
+// divides by.
+type recMeta struct {
+	exp     string
+	label   string
+	algo    string
+	n       int
+	ratioOf int // job index of the non-uniform baseline, or -1
 }
 
-// record is one measured simulation in the -json output; see EXPERIMENTS.md
-// for the schema.
-type record struct {
-	Experiment string  `json:"experiment"`
-	Label      string  `json:"label"`
-	Algorithm  string  `json:"algorithm"`
-	N          int     `json:"n"`
-	Rounds     int     `json:"rounds"`
-	Messages   int64   `json:"messages"`
-	WallNs     int64   `json:"wall_ns"`
-	Allocs     uint64  `json:"allocs"`
-	Ratio      float64 `json:"ratio,omitempty"`
+// plan accumulates the jobs of all selected experiments and the deferred
+// table renderers that consume their results. Planning, execution and
+// rendering are strictly separated so the scheduler is free to complete jobs
+// in any order while stdout and the JSON records keep the sequential
+// ordering.
+type plan struct {
+	corpus  *graph.Corpus
+	exp     string // experiment currently planning, stamped into jobs/renders
+	jobs    []sweep.Job
+	metas   []recMeta
+	renders []render
+	results []sweep.Result
 }
 
-// collected accumulates the -json records of the whole invocation.
-var collected []record
+type render struct {
+	exp string
+	fn  func() error
+}
 
-// currentExp is the experiment id being run, stamped into records.
-var currentExp string
+func newPlan() *plan {
+	return &plan{corpus: graph.NewCorpus()}
+}
 
-// measure runs one simulation, recording wall time and allocation count.
-func measure(label string, g *graph.Graph, a local.Algorithm, seed int64) (*local.Result, error) {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	res, err := local.Run(g, a, simOpts(seed))
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return nil, err
-	}
-	collected = append(collected, record{
-		Experiment: currentExp,
-		Label:      label,
-		Algorithm:  a.Name(),
-		N:          g.N(),
-		Rounds:     res.Rounds,
-		Messages:   res.Messages,
-		WallNs:     wall.Nanoseconds(),
-		Allocs:     after.Mallocs - before.Mallocs,
+// submit plans one simulation and returns its job index.
+func (p *plan) submit(label string, g *graph.Graph, a local.Algorithm, seed int64) int {
+	idx := len(p.jobs)
+	p.jobs = append(p.jobs, sweep.Job{
+		Label: p.exp + "/" + label,
+		Graph: g,
+		Algo:  func() local.Algorithm { return a },
+		Seed:  seed,
 	})
-	return res, nil
+	p.metas = append(p.metas, recMeta{exp: p.exp, label: label, algo: a.Name(), n: g.N(), ratioOf: -1})
+	return idx
+}
+
+// addRender defers output that depends on results.
+func (p *plan) addRender(fn func() error) {
+	p.renders = append(p.renders, render{exp: p.exp, fn: fn})
+}
+
+// res returns job i's simulation result or its error.
+func (p *plan) res(i int) (*local.Result, error) {
+	r := p.results[i]
+	return r.Res, r.Err
+}
+
+// header plans a table header.
+func (p *plan) header(title, caption string) {
+	p.addRender(func() error {
+		fmt.Printf("\n### %s\n\n%s\n\n", title, caption)
+		fmt.Println("| graph | n | non-uniform rounds | uniform rounds | ratio |")
+		fmt.Println("|---|---|---|---|---|")
+		return nil
+	})
+}
+
+// row plans the baseline/uniform pair of one table row and its rendering.
+func (p *plan) row(label string, g *graph.Graph, baseline, uniform local.Algorithm, check func([]any) error) {
+	nu := p.submit(label+"/nonuniform", g, baseline, *flagSeed)
+	un := p.submit(label+"/uniform", g, uniform, *flagSeed)
+	p.metas[un].ratioOf = nu
+	p.addRender(func() error {
+		nuRes, err := p.res(nu)
+		if err != nil {
+			return err
+		}
+		unRes, err := p.res(un)
+		if err != nil {
+			return err
+		}
+		if err := check(unRes.Outputs); err != nil {
+			return fmt.Errorf("uniform output invalid on %s: %w", label, err)
+		}
+		fmt.Printf("| %s | %d | %d | %d | %.2f |\n",
+			label, g.N(), nuRes.Rounds, unRes.Rounds, float64(unRes.Rounds)/float64(nuRes.Rounds))
+		return nil
+	})
 }
 
 func run() error {
@@ -112,19 +166,20 @@ func run() error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	exps := map[string]func() error{
+	exps := map[string]func(*plan) error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E13": e13,
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10", "E13"}
 	want := strings.ToUpper(*flagExp)
+	p := newPlan()
 	ran := false
 	for _, id := range order {
 		if want != "ALL" && want != id {
 			continue
 		}
-		currentExp = id
-		if err := exps[id](); err != nil {
+		p.exp = id
+		if err := exps[id](p); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		ran = true
@@ -132,8 +187,20 @@ func run() error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *flagExp)
 	}
+
+	results, stats := sweep.Run(p.jobs, sweep.Options{
+		Parallel:      *flagParallel,
+		EngineWorkers: *flagWorkers,
+	})
+	p.results = results
+	for _, r := range p.renders {
+		if err := r.fn(); err != nil {
+			return fmt.Errorf("%s: %w", r.exp, err)
+		}
+	}
+
 	if *flagJSON != "" {
-		if err := writeJSON(*flagJSON); err != nil {
+		if err := writeJSON(*flagJSON, p, stats); err != nil {
 			return err
 		}
 	}
@@ -151,22 +218,47 @@ func run() error {
 	return nil
 }
 
-// writeJSON emits the collected records with a schema header.
-func writeJSON(path string) error {
-	doc := struct {
-		SchemaVersion int      `json:"schema_version"`
-		GeneratedBy   string   `json:"generated_by"`
-		Seed          int64    `json:"seed"`
-		Workers       int      `json:"workers"`
-		Large         bool     `json:"large"`
-		Results       []record `json:"results"`
-	}{
-		SchemaVersion: 1,
+// writeJSON emits the per-job records (in plan order) with a schema header
+// and the sweep throughput block; the types live in internal/benchfmt,
+// shared with cmd/benchguard.
+func writeJSON(path string, p *plan, stats sweep.Stats) error {
+	collected := make([]benchfmt.Record, 0, len(p.metas))
+	for i, m := range p.metas {
+		r := p.results[i]
+		if r.Err != nil {
+			return r.Err
+		}
+		rec := benchfmt.Record{
+			Experiment: m.exp,
+			Label:      m.label,
+			Algorithm:  m.algo,
+			N:          m.n,
+			Rounds:     r.Res.Rounds,
+			Messages:   r.Res.Messages,
+			WallNs:     r.Wall.Nanoseconds(),
+			Allocs:     r.Allocs,
+		}
+		if m.ratioOf >= 0 {
+			base := p.results[m.ratioOf]
+			rec.Ratio = float64(r.Res.Rounds) / float64(base.Res.Rounds)
+		}
+		collected = append(collected, rec)
+	}
+	doc := benchfmt.Doc{
+		SchemaVersion: benchfmt.SchemaVersion,
 		GeneratedBy:   "cmd/localbench",
 		Seed:          *flagSeed,
+		Parallel:      *flagParallel,
 		Workers:       *flagWorkers,
 		Large:         *flagLarge,
-		Results:       collected,
+		Sweep: benchfmt.SweepStats{
+			Jobs:         stats.Jobs,
+			Workers:      stats.Workers,
+			WallNs:       stats.Wall.Nanoseconds(),
+			JobsPerSec:   stats.JobsPerSec,
+			EngineAllocs: stats.EngineAllocs,
+		},
+		Results: collected,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -182,31 +274,6 @@ func sizes(small []int, large []int) []int {
 	return small
 }
 
-// row runs baseline and uniform on one graph and prints a table row.
-func row(label string, g *graph.Graph, baseline, uniform local.Algorithm, check func([]any) error) error {
-	nu, err := measure(label+"/nonuniform", g, baseline, *flagSeed)
-	if err != nil {
-		return err
-	}
-	un, err := measure(label+"/uniform", g, uniform, *flagSeed)
-	if err != nil {
-		return err
-	}
-	if err := check(un.Outputs); err != nil {
-		return fmt.Errorf("uniform output invalid on %s: %w", label, err)
-	}
-	collected[len(collected)-1].Ratio = float64(un.Rounds) / float64(nu.Rounds)
-	fmt.Printf("| %s | %d | %d | %d | %.2f |\n",
-		label, g.N(), nu.Rounds, un.Rounds, float64(un.Rounds)/float64(nu.Rounds))
-	return nil
-}
-
-func header(title, caption string) {
-	fmt.Printf("\n### %s\n\n%s\n\n", title, caption)
-	fmt.Println("| graph | n | non-uniform rounds | uniform rounds | ratio |")
-	fmt.Println("|---|---|---|---|---|")
-}
-
 func misCheck(g *graph.Graph) func([]any) error {
 	return func(outputs []any) error {
 		in, err := problems.Bools(outputs)
@@ -217,20 +284,20 @@ func misCheck(g *graph.Graph) func([]any) error {
 	}
 }
 
-func e1() error {
-	header("E1 — Det. MIS / (Δ+1)-coloring, O(Δ + log* n) row (Theorem 1)",
+func e1(p *plan) error {
+	p.header("E1 — Det. MIS / (Δ+1)-coloring, O(Δ + log* n) row (Theorem 1)",
 		"colormis with correct {Δ, m} vs the Theorem 1 uniform transform (MIS pruner).")
 	uniform := engines.UniformMISDelta()
 	for _, n := range sizes([]int{256, 1024, 4096}, []int{1024, 4096, 16384}) {
-		cyc, err := graph.Cycle(n)
+		cyc, err := p.corpus.Cycle(n)
 		if err != nil {
 			return err
 		}
-		reg, err := graph.RandomRegular(n, 4, int64(n))
+		reg, err := p.corpus.RandomRegular(n, 4, int64(n))
 		if err != nil {
 			return err
 		}
-		gnp, err := graph.GNP(n, 8/float64(n-1), int64(n))
+		gnp, err := p.corpus.GNP(n, 8/float64(n-1), int64(n))
 		if err != nil {
 			return err
 		}
@@ -238,50 +305,44 @@ func e1() error {
 			name string
 			g    *graph.Graph
 		}{{"cycle", cyc}, {"regular4", reg}, {"gnp8", gnp}} {
-			if err := row(fam.name, fam.g, engines.NonUniformMISDelta(fam.g), uniform, misCheck(fam.g)); err != nil {
-				return err
-			}
+			p.row(fam.name, fam.g, engines.NonUniformMISDelta(fam.g), uniform, misCheck(fam.g))
 		}
 	}
 	return nil
 }
 
-func e2() error {
-	header("E2 — Det. MIS with size-only knowledge (PS slot; greedy substitution)",
+func e2(p *plan) error {
+	p.header("E2 — Det. MIS with size-only knowledge (PS slot; greedy substitution)",
 		"truncated greedy-by-identity with correct m vs its Theorem 1 uniform transform.")
 	uniform := engines.UniformMISID()
 	for _, n := range sizes([]int{64, 256, 1024}, []int{256, 1024, 8192}) {
-		g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+		g, err := p.corpus.GNP(n, 6/float64(n-1), int64(n))
 		if err != nil {
 			return err
 		}
-		if err := row("gnp6", g, engines.NonUniformMISID(g), uniform, misCheck(g)); err != nil {
-			return err
-		}
+		p.row("gnp6", g, engines.NonUniformMISID(g), uniform, misCheck(g))
 	}
 	return nil
 }
 
-func e3() error {
-	header("E3 — Det. MIS on bounded arboricity (Theorem 1, product bound; Theorem 3)",
+func e3(p *plan) error {
+	p.header("E3 — Det. MIS on bounded arboricity (Theorem 1, product bound; Theorem 3)",
 		"H-partition MIS with correct {a, n, m} vs the uniform transform with the Obs 4.1 product set-sequence.")
 	uniform := engines.UniformMISArb()
 	for _, n := range sizes([]int{256, 1024}, []int{1024, 8192}) {
 		for _, a := range []int{1, 3} {
-			g := graph.ForestUnion(n, a, int64(n*a))
-			if err := row(fmt.Sprintf("forest(a≤%d)", a), g, engines.NonUniformMISArb(g), uniform, misCheck(g)); err != nil {
-				return err
-			}
+			g := p.corpus.ForestUnion(n, a, int64(n*a))
+			p.row(fmt.Sprintf("forest(a≤%d)", a), g, engines.NonUniformMISArb(g), uniform, misCheck(g))
 		}
 	}
 	return nil
 }
 
-func e4() error {
-	header("E4 — λ(Δ+1)-coloring trade-off (Theorem 5)",
+func e4(p *plan) error {
+	p.header("E4 — λ(Δ+1)-coloring trade-off (Theorem 5)",
 		"non-uniform λ-coloring with correct {Δ, m} vs the Theorem 5 uniform coloring; rounds fall as λ grows.")
 	n := sizes([]int{512}, []int{2048})[0]
-	g, err := graph.RandomRegular(n, 8, int64(n))
+	g, err := p.corpus.RandomRegular(n, 8, int64(n))
 	if err != nil {
 		return err
 	}
@@ -297,36 +358,32 @@ func e4() error {
 			}
 			return problems.ValidColoring(g, colors, 0)
 		}
-		if err := row(fmt.Sprintf("regular8, λ=%d", lambda), g,
-			engines.NonUniformLambdaColoring(lambda)(g), uniform, check); err != nil {
-			return err
-		}
+		p.row(fmt.Sprintf("regular8, λ=%d", lambda), g,
+			engines.NonUniformLambdaColoring(lambda)(g), uniform, check)
 	}
 	return nil
 }
 
-func e6() error {
-	header("E6 — Maximal matching (Theorem 1 + P_MM)",
+func e6(p *plan) error {
+	p.header("E6 — Maximal matching (Theorem 1 + P_MM)",
 		"line-graph matching with correct {Δ, m} vs its uniform transform (HKP slot, see DESIGN.md §4).")
 	uniform := engines.UniformMatching()
 	for _, n := range sizes([]int{256, 1024}, []int{1024, 4096}) {
-		g, err := graph.GNP(n, 5/float64(n-1), int64(n))
+		g, err := p.corpus.GNP(n, 5/float64(n-1), int64(n))
 		if err != nil {
 			return err
 		}
 		check := func(outputs []any) error { return problems.ValidMaximalMatching(g, outputs) }
-		if err := row("gnp5", g, engines.NonUniformMatching(g), uniform, check); err != nil {
-			return err
-		}
+		p.row("gnp5", g, engines.NonUniformMatching(g), uniform, check)
 	}
 	return nil
 }
 
-func e7() error {
-	header("E7 — Randomized (2,β)-ruling set (Theorem 2: Monte Carlo → Las Vegas)",
+func e7(p *plan) error {
+	p.header("E7 — Randomized (2,β)-ruling set (Theorem 2: Monte Carlo → Las Vegas)",
 		"truncated power-graph Luby with correct n vs the uniform Las Vegas transform (P(2,β) pruner).")
 	n := sizes([]int{512}, []int{2048})[0]
-	g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+	g, err := p.corpus.GNP(n, 8/float64(n-1), int64(n))
 	if err != nil {
 		return err
 	}
@@ -339,49 +396,60 @@ func e7() error {
 			}
 			return problems.ValidRulingSet(g, in, 2, beta)
 		}
-		if err := row(fmt.Sprintf("gnp8, β=%d", beta), g,
-			engines.NonUniformRulingSet(beta)(g), uniform, check); err != nil {
-			return err
-		}
+		p.row(fmt.Sprintf("gnp8, β=%d", beta), g,
+			engines.NonUniformRulingSet(beta)(g), uniform, check)
 	}
 	return nil
 }
 
-func e8() error {
-	fmt.Printf("\n### E8 — Rand. MIS, uniform O(log n) (Luby)\n\n")
-	fmt.Println("| graph | n | rounds (avg over 5 seeds) | log2(n) |")
-	fmt.Println("|---|---|---|---|")
+func e8(p *plan) error {
+	p.addRender(func() error {
+		fmt.Printf("\n### E8 — Rand. MIS, uniform O(log n) (Luby)\n\n")
+		fmt.Println("| graph | n | rounds (avg over 5 seeds) | log2(n) |")
+		fmt.Println("|---|---|---|---|")
+		return nil
+	})
 	for _, n := range sizes([]int{1024, 4096, 16384}, []int{4096, 16384, 65536}) {
-		g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+		g, err := p.corpus.GNP(n, 8/float64(n-1), int64(n))
 		if err != nil {
 			return err
 		}
-		total := 0
+		idxs := make([]int, 0, 5)
 		for seed := int64(0); seed < 5; seed++ {
-			res, err := measure(fmt.Sprintf("gnp8/seed=%d", seed), g, luby.New(), seed)
-			if err != nil {
-				return err
-			}
-			if err := misCheck(g)(res.Outputs); err != nil {
-				return err
-			}
-			total += res.Rounds
+			idxs = append(idxs, p.submit(fmt.Sprintf("gnp8/seed=%d", seed), g, luby.New(), seed))
 		}
-		lg := 0
-		for v := n; v > 1; v >>= 1 {
-			lg++
-		}
-		fmt.Printf("| gnp8 | %d | %.1f | %d |\n", n, float64(total)/5, lg)
+		p.addRender(func() error {
+			total := 0
+			for _, i := range idxs {
+				res, err := p.res(i)
+				if err != nil {
+					return err
+				}
+				if err := misCheck(g)(res.Outputs); err != nil {
+					return err
+				}
+				total += res.Rounds
+			}
+			lg := 0
+			for v := n; v > 1; v >>= 1 {
+				lg++
+			}
+			fmt.Printf("| gnp8 | %d | %.1f | %d |\n", n, float64(total)/5, lg)
+			return nil
+		})
 	}
 	return nil
 }
 
-func e9() error {
-	fmt.Printf("\n### E9 — Corollary 1(i): min of three engines (Theorem 4)\n\n")
-	fmt.Println("| graph | n | Δ | best-MIS rounds | Δ-engine rounds | id-engine rounds | arb-engine rounds |")
-	fmt.Println("|---|---|---|---|---|---|---|")
+func e9(p *plan) error {
+	p.addRender(func() error {
+		fmt.Printf("\n### E9 — Corollary 1(i): min of three engines (Theorem 4)\n\n")
+		fmt.Println("| graph | n | Δ | best-MIS rounds | Δ-engine rounds | id-engine rounds | arb-engine rounds |")
+		fmt.Println("|---|---|---|---|---|---|---|")
+		return nil
+	})
 	combined := engines.BestMIS()
-	cyc, err := graph.Cycle(sizes([]int{1024}, []int{4096})[0])
+	cyc, err := p.corpus.Cycle(sizes([]int{1024}, []int{4096})[0])
 	if err != nil {
 		return err
 	}
@@ -389,84 +457,92 @@ func e9() error {
 		name string
 		g    *graph.Graph
 	}{
-		{"star", graph.Star(sizes([]int{1024}, []int{4096})[0])},
-		{"clique", graph.Complete(sizes([]int{64}, []int{128})[0])},
+		{"star", p.corpus.Star(sizes([]int{1024}, []int{4096})[0])},
+		{"clique", p.corpus.Complete(sizes([]int{64}, []int{128})[0])},
 		{"cycle", cyc},
 	} {
 		g := fam.g
-		rounds := func(a local.Algorithm) (int, error) {
-			res, err := measure(fam.name, g, a, *flagSeed)
-			if err != nil {
-				return 0, err
+		best := p.submit(fam.name, g, combined, *flagSeed)
+		rd := p.submit(fam.name, g, engines.NonUniformMISDelta(g), *flagSeed)
+		ri := p.submit(fam.name, g, engines.NonUniformMISID(g), *flagSeed)
+		ra := p.submit(fam.name, g, engines.NonUniformMISArb(g), *flagSeed)
+		p.addRender(func() error {
+			rounds := make([]int, 4)
+			for j, i := range []int{best, rd, ri, ra} {
+				res, err := p.res(i)
+				if err != nil {
+					return err
+				}
+				rounds[j] = res.Rounds
 			}
-			return res.Rounds, nil
-		}
-		best, err := rounds(combined)
-		if err != nil {
-			return err
-		}
-		rd, err := rounds(engines.NonUniformMISDelta(g))
-		if err != nil {
-			return err
-		}
-		ri, err := rounds(engines.NonUniformMISID(g))
-		if err != nil {
-			return err
-		}
-		ra, err := rounds(engines.NonUniformMISArb(g))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("| %s | %d | %d | %d | %d | %d | %d |\n", fam.name, g.N(), g.MaxDegree(), best, rd, ri, ra)
+			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d |\n",
+				fam.name, g.N(), g.MaxDegree(), rounds[0], rounds[1], rounds[2], rounds[3])
+			return nil
+		})
 	}
 	return nil
 }
 
-func e10() error {
-	fmt.Printf("\n### E10 — Section 5.1: uniform (deg+1)-coloring from uniform MIS\n\n")
-	fmt.Println("| graph | n | rounds | max color | Δ+1 |")
-	fmt.Println("|---|---|---|---|---|")
+func e10(p *plan) error {
+	p.addRender(func() error {
+		fmt.Printf("\n### E10 — Section 5.1: uniform (deg+1)-coloring from uniform MIS\n\n")
+		fmt.Println("| graph | n | rounds | max color | Δ+1 |")
+		fmt.Println("|---|---|---|---|---|")
+		return nil
+	})
 	uniform := engines.UniformDegPlusOneColoring(engines.LubyMIS())
 	for _, n := range sizes([]int{256, 1024}, []int{1024, 4096}) {
-		g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+		g, err := p.corpus.GNP(n, 6/float64(n-1), int64(n))
 		if err != nil {
 			return err
 		}
-		res, err := measure("gnp6", g, uniform, *flagSeed)
-		if err != nil {
-			return err
-		}
-		colors, err := problems.Ints(res.Outputs)
-		if err != nil {
-			return err
-		}
-		if err := problems.ValidColoring(g, colors, g.MaxDegree()+1); err != nil {
-			return err
-		}
-		fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, res.Rounds, problems.MaxColor(colors), g.MaxDegree()+1)
+		idx := p.submit("gnp6", g, uniform, *flagSeed)
+		p.addRender(func() error {
+			res, err := p.res(idx)
+			if err != nil {
+				return err
+			}
+			colors, err := problems.Ints(res.Outputs)
+			if err != nil {
+				return err
+			}
+			if err := problems.ValidColoring(g, colors, g.MaxDegree()+1); err != nil {
+				return err
+			}
+			fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, res.Rounds, problems.MaxColor(colors), g.MaxDegree()+1)
+			return nil
+		})
 	}
 	return nil
 }
 
-func e13() error {
-	fmt.Printf("\n### E13 — Observation 2.1: composition under skewed wake-up\n\n")
-	fmt.Println("| graph | n | max delay | composed rounds | bound (delay + T_luby + slack) |")
-	fmt.Println("|---|---|---|---|---|")
+func e13(p *plan) error {
+	p.addRender(func() error {
+		fmt.Printf("\n### E13 — Observation 2.1: composition under skewed wake-up\n\n")
+		fmt.Println("| graph | n | max delay | composed rounds | bound (delay + T_luby + slack) |")
+		fmt.Println("|---|---|---|---|---|")
+		return nil
+	})
 	n := sizes([]int{1024}, []int{4096})[0]
-	g, err := graph.GNP(n, 6/float64(n-1), int64(n))
+	g, err := p.corpus.GNP(n, 6/float64(n-1), int64(n))
 	if err != nil {
 		return err
 	}
-	plain, err := measure("gnp6/plain", g, luby.New(), *flagSeed)
-	if err != nil {
-		return err
-	}
+	plainIdx := p.submit("gnp6/plain", g, luby.New(), *flagSeed)
 	maxDelay := 16
 	delayed := local.WithWakeup(luby.New(), func(id int64) int { return int(id % 17) })
-	res, err := measure("gnp6/wakeup", g, delayed, *flagSeed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, maxDelay, res.Rounds, maxDelay+plain.Rounds+4)
+	wakeIdx := p.submit("gnp6/wakeup", g, delayed, *flagSeed)
+	p.addRender(func() error {
+		plain, err := p.res(plainIdx)
+		if err != nil {
+			return err
+		}
+		res, err := p.res(wakeIdx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| gnp6 | %d | %d | %d | %d |\n", n, maxDelay, res.Rounds, maxDelay+plain.Rounds+4)
+		return nil
+	})
 	return nil
 }

@@ -1,0 +1,51 @@
+// Package benchfmt declares the BENCH.json schema shared by its writer
+// (cmd/localbench) and its guard (cmd/benchguard), so the two cannot drift
+// apart silently: a field added or renamed here is marshalled and compared
+// by both sides, and the schema tables in EXPERIMENTS.md document exactly
+// these types.
+package benchfmt
+
+// SchemaVersion is the current BENCH.json schema version.
+const SchemaVersion = 2
+
+// Record is one measured simulation.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Label      string `json:"label"`
+	Algorithm  string `json:"algorithm"`
+	N          int    `json:"n"`
+	Rounds     int    `json:"rounds"`
+	Messages   int64  `json:"messages"`
+	WallNs     int64  `json:"wall_ns"`
+	// Allocs counts the run's engine-buffer allocations from the scheduler's
+	// per-worker RunState counters (schema 1 reported a global
+	// runtime.MemStats delta, which misattributed concurrent allocations and
+	// GC noise). Deterministic at parallel 1 — the setting the committed
+	// BENCH.json is generated with; under a parallel sweep the job→worker
+	// assignment is timing-dependent, so warm/cold placement may vary.
+	Allocs uint64 `json:"allocs"`
+	// Ratio is uniform rounds / non-uniform rounds, on uniform records only.
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// SweepStats is the batch-throughput block: the run-level throughput of the
+// whole invocation, tracked across PRs.
+type SweepStats struct {
+	Jobs         int     `json:"jobs"`
+	Workers      int     `json:"workers"`
+	WallNs       int64   `json:"wall_ns"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	EngineAllocs uint64  `json:"engine_allocs"`
+}
+
+// Doc is the top-level BENCH.json document.
+type Doc struct {
+	SchemaVersion int        `json:"schema_version"`
+	GeneratedBy   string     `json:"generated_by"`
+	Seed          int64      `json:"seed"`
+	Parallel      int        `json:"parallel"`
+	Workers       int        `json:"workers"`
+	Large         bool       `json:"large"`
+	Sweep         SweepStats `json:"sweep"`
+	Results       []Record   `json:"results"`
+}

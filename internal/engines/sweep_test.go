@@ -1,41 +1,58 @@
 package engines
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
+	sweeppkg "github.com/unilocal/unilocal/internal/sweep"
 )
 
-// sweep returns the full size sweep, or the reduced one under -short (the
-// shapes and assertions are identical; only the largest instances shrink).
-func sweep(full, short []int) []int {
+// sweepSizes returns the full size sweep, or the reduced one under -short
+// (the shapes and assertions are identical; only the largest instances
+// shrink).
+func sweepSizes(full, short []int) []int {
 	if testing.Short() {
 		return short
 	}
 	return full
 }
 
+// testCorpus caches the sweep topologies across this package's tests.
+var testCorpus = graph.NewCorpus()
+
 // TestRatioFlatAcrossSizes is the headline reproduction claim in test form:
 // the uniform/non-uniform round ratio of the Theorem 1 MIS must not grow
-// with n (measured over a 16x sweep on bounded-degree graphs).
+// with n (measured over a 16x sweep on bounded-degree graphs). The whole
+// sweep runs as one scheduler batch, the same way cmd/localbench submits
+// it.
 func TestRatioFlatAcrossSizes(t *testing.T) {
 	uniform := UniformMISDelta()
-	ratios := make([]float64, 0, 3)
-	for _, n := range sweep([]int{128, 512, 2048}, []int{64, 256, 1024}) {
-		g, err := graph.RandomRegular(n, 4, int64(n))
+	var jobs []sweeppkg.Job
+	var graphs []*graph.Graph
+	for _, n := range sweepSizes([]int{128, 512, 2048}, []int{64, 256, 1024}) {
+		g, err := testCorpus.RandomRegular(n, 4, int64(n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		un, err := local.Run(g, uniform, local.Options{Seed: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		nu, err := local.Run(g, NonUniformMISDelta(g), local.Options{Seed: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
+		graphs = append(graphs, g)
+		baseline := NonUniformMISDelta(g)
+		jobs = append(jobs,
+			sweeppkg.Job{Label: fmt.Sprintf("n=%d/uniform", n), Graph: g,
+				Algo: func() local.Algorithm { return uniform }, Seed: 1},
+			sweeppkg.Job{Label: fmt.Sprintf("n=%d/nonuniform", n), Graph: g,
+				Algo: func() local.Algorithm { return baseline }, Seed: 1},
+		)
+	}
+	results, _ := sweeppkg.Run(jobs, sweeppkg.Options{Parallel: 4})
+	if err := sweeppkg.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	ratios := make([]float64, 0, len(graphs))
+	for i, g := range graphs {
+		un, nu := results[2*i].Res, results[2*i+1].Res
 		in, err := problems.Bools(un.Outputs)
 		if err != nil {
 			t.Fatal(err)
@@ -56,7 +73,7 @@ func TestRatioFlatAcrossSizes(t *testing.T) {
 // TestBestMISSelectivity pins Theorem 4's selection on opposite extremes.
 func TestBestMISSelectivity(t *testing.T) {
 	combined := BestMIS()
-	star := graph.Star(sweep([]int{1500}, []int{600})[0])
+	star := testCorpus.Star(sweepSizes([]int{1500}, []int{600})[0])
 	res, err := local.Run(star, combined, local.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -103,21 +120,34 @@ func TestLambdaTradeoffShape(t *testing.T) {
 }
 
 // TestLubyLogShape verifies the O(log n) growth of the uniform randomized
-// row: quadrupling n must not triple the rounds.
+// row: quadrupling n must not triple the rounds. The (n, seed) grid runs as
+// one scheduler batch.
 func TestLubyLogShape(t *testing.T) {
-	rounds := make([]int, 0, 3)
-	for _, n := range sweep([]int{1024, 4096, 16384}, []int{512, 2048, 8192}) {
-		g, err := graph.GNP(n, 8/float64(n-1), int64(n))
+	sizes := sweepSizes([]int{1024, 4096, 16384}, []int{512, 2048, 8192})
+	var jobs []sweeppkg.Job
+	for _, n := range sizes {
+		g, err := testCorpus.GNP(n, 8/float64(n-1), int64(n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		total := 0
 		for seed := int64(0); seed < 3; seed++ {
-			res, err := local.Run(g, LubyMIS(), local.Options{Seed: seed})
-			if err != nil {
-				t.Fatal(err)
-			}
-			total += res.Rounds
+			jobs = append(jobs, sweeppkg.Job{
+				Label: fmt.Sprintf("n=%d/seed=%d", n, seed),
+				Graph: g,
+				Algo:  func() local.Algorithm { return LubyMIS() },
+				Seed:  seed,
+			})
+		}
+	}
+	results, _ := sweeppkg.Run(jobs, sweeppkg.Options{Parallel: 3})
+	if err := sweeppkg.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	rounds := make([]int, 0, len(sizes))
+	for i := range sizes {
+		total := 0
+		for seed := 0; seed < 3; seed++ {
+			total += results[3*i+seed].Res.Rounds
 		}
 		rounds = append(rounds, total/3)
 	}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Corpus memoizes generated graph families and derived constructions. The
+// benchmark harness runs hundreds of simulations that keep asking for the
+// same topologies — the same GNP(n, p, seed) appears in several experiments —
+// and regenerating them per experiment wastes the time the sweep scheduler
+// saves. A built Graph is immutable and safe for concurrent use, so one
+// cached instance can back any number of concurrent runs.
+//
+// Generated families are keyed by (family, params, seed) via CorpusKey;
+// derived constructions (LineGraphOf, PowerOf, ProductOf) are keyed by the
+// identity of their (cached, canonical) source graph. All methods are safe
+// for concurrent use; concurrent requests for a missing entry build it
+// exactly once (other callers block until it is ready without holding the
+// corpus lock).
+type Corpus struct {
+	mu      sync.Mutex
+	gen     map[CorpusKey]*corpusEntry
+	derived map[derivedKey]*corpusEntry
+	hits    uint64
+	misses  uint64
+}
+
+// CorpusKey identifies a generated graph: the family name, up to two integer
+// parameters, one float parameter (stored as bits so keys stay comparable)
+// and the generator seed.
+type CorpusKey struct {
+	Family string
+	A, B   int64
+	F      uint64
+	Seed   int64
+}
+
+// derivedKey identifies a derived construction by its source graph's
+// identity. Pointer keying is sound because graphs are immutable and the
+// corpus hands out one canonical instance per generated key.
+type derivedKey struct {
+	src *Graph
+	op  string
+	k   int
+}
+
+// corpusEntry carries one built graph plus the side artifacts some
+// constructions return. The per-entry once lets concurrent first requests
+// build without serializing unrelated builds behind the corpus lock.
+type corpusEntry struct {
+	once   sync.Once
+	g      *Graph
+	err    error
+	edges  []Edge
+	copies []CliqueCopy
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		gen:     make(map[CorpusKey]*corpusEntry),
+		derived: make(map[derivedKey]*corpusEntry),
+	}
+}
+
+// Stats returns how many lookups were served from the cache and how many had
+// to build.
+func (c *Corpus) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// entry returns the memo slot for key, creating it on miss.
+func (c *Corpus) entry(key CorpusKey) *corpusEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.gen[key]
+	if !ok {
+		e = &corpusEntry{}
+		c.gen[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	return e
+}
+
+// derivedEntry returns the memo slot for a derived construction.
+func (c *Corpus) derivedEntry(key derivedKey) *corpusEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.derived[key]
+	if !ok {
+		e = &corpusEntry{}
+		c.derived[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	return e
+}
+
+// Get memoizes an arbitrary generated graph under key, building it with
+// build on first request. The named helpers below cover the standard
+// families; Get is the extension point for callers with their own
+// generators.
+func (c *Corpus) Get(key CorpusKey, build func() (*Graph, error)) (*Graph, error) {
+	e := c.entry(key)
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
+}
+
+// Path returns the cached path on n nodes.
+func (c *Corpus) Path(n int) *Graph {
+	return mustCorpus(c.Get(CorpusKey{Family: "path", A: int64(n)}, func() (*Graph, error) {
+		return Path(n), nil
+	}))
+}
+
+// Cycle returns the cached cycle on n nodes.
+func (c *Corpus) Cycle(n int) (*Graph, error) {
+	return c.Get(CorpusKey{Family: "cycle", A: int64(n)}, func() (*Graph, error) {
+		return Cycle(n)
+	})
+}
+
+// Star returns the cached star on n nodes.
+func (c *Corpus) Star(n int) *Graph {
+	return mustCorpus(c.Get(CorpusKey{Family: "star", A: int64(n)}, func() (*Graph, error) {
+		return Star(n), nil
+	}))
+}
+
+// Complete returns the cached clique K_n.
+func (c *Corpus) Complete(n int) *Graph {
+	return mustCorpus(c.Get(CorpusKey{Family: "complete", A: int64(n)}, func() (*Graph, error) {
+		return Complete(n), nil
+	}))
+}
+
+// Grid returns the cached r x c grid.
+func (c *Corpus) Grid(r, cols int) *Graph {
+	return mustCorpus(c.Get(CorpusKey{Family: "grid", A: int64(r), B: int64(cols)}, func() (*Graph, error) {
+		return Grid(r, cols), nil
+	}))
+}
+
+// GNP returns the cached Erdős–Rényi graph G(n, p) for the given seed.
+func (c *Corpus) GNP(n int, p float64, seed int64) (*Graph, error) {
+	key := CorpusKey{Family: "gnp", A: int64(n), F: math.Float64bits(p), Seed: seed}
+	return c.Get(key, func() (*Graph, error) { return GNP(n, p, seed) })
+}
+
+// RandomRegular returns the cached random d-regular graph for the given seed.
+func (c *Corpus) RandomRegular(n, d int, seed int64) (*Graph, error) {
+	key := CorpusKey{Family: "regular", A: int64(n), B: int64(d), Seed: seed}
+	return c.Get(key, func() (*Graph, error) { return RandomRegular(n, d, seed) })
+}
+
+// ForestUnion returns the cached union of k random recursive forests.
+func (c *Corpus) ForestUnion(n, k int, seed int64) *Graph {
+	key := CorpusKey{Family: "forest-union", A: int64(n), B: int64(k), Seed: seed}
+	return mustCorpus(c.Get(key, func() (*Graph, error) { return ForestUnion(n, k, seed), nil }))
+}
+
+// RandomTree returns the cached random recursive tree for the given seed.
+func (c *Corpus) RandomTree(n int, seed int64) *Graph {
+	key := CorpusKey{Family: "random-tree", A: int64(n), Seed: seed}
+	return mustCorpus(c.Get(key, func() (*Graph, error) { return RandomTree(n, seed), nil }))
+}
+
+// LineGraphOf returns the cached line graph of g with its canonical edge
+// list (see LineGraph).
+func (c *Corpus) LineGraphOf(g *Graph) (*Graph, []Edge, error) {
+	e := c.derivedEntry(derivedKey{src: g, op: "line"})
+	e.once.Do(func() { e.g, e.edges, e.err = LineGraph(g) })
+	return e.g, e.edges, e.err
+}
+
+// PowerOf returns the cached k-th power of g.
+func (c *Corpus) PowerOf(g *Graph, k int) (*Graph, error) {
+	e := c.derivedEntry(derivedKey{src: g, op: "power", k: k})
+	e.once.Do(func() { e.g, e.err = Power(g, k) })
+	return e.g, e.err
+}
+
+// ProductOf returns the cached clique product of g with its copy table (see
+// ProductDegPlusOne).
+func (c *Corpus) ProductOf(g *Graph) (*Graph, []CliqueCopy, error) {
+	e := c.derivedEntry(derivedKey{src: g, op: "product"})
+	e.once.Do(func() { e.g, e.copies, e.err = ProductDegPlusOne(g) })
+	return e.g, e.copies, e.err
+}
+
+// mustCorpus unwraps helpers whose underlying generators cannot fail.
+func mustCorpus(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(fmt.Sprintf("graph: corpus: infallible generator failed: %v", err))
+	}
+	return g
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCorpusHitMissSemantics pins the caching contract: the first request
+// for a key builds and counts a miss, every later request returns the same
+// canonical instance and counts a hit, and distinct keys never collide.
+func TestCorpusHitMissSemantics(t *testing.T) {
+	c := NewCorpus()
+	g1, err := c.GNP(120, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first build: hits=%d misses=%d, want 0/1", h, m)
+	}
+	g2, err := c.GNP(120, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("same key returned distinct instances")
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("after hit: hits=%d misses=%d, want 1/1", h, m)
+	}
+	// Different p, seed or n are different keys.
+	g3, _ := c.GNP(120, 0.06, 7)
+	g4, _ := c.GNP(120, 0.05, 8)
+	g5, _ := c.GNP(121, 0.05, 7)
+	if g3 == g1 || g4 == g1 || g5 == g1 {
+		t.Fatal("distinct keys collided")
+	}
+	if h, m := c.Stats(); h != 1 || m != 4 {
+		t.Fatalf("after distinct keys: hits=%d misses=%d, want 1/4", h, m)
+	}
+	// Generator errors are memoized too (and don't panic the helpers that
+	// can fail).
+	if _, err := c.Cycle(2); err == nil {
+		t.Fatal("corpus hid the generator error")
+	}
+	if _, err := c.Cycle(2); err == nil {
+		t.Fatal("memoized error lost")
+	}
+}
+
+// TestCorpusDerivedKeying checks that derived constructions are cached per
+// (source graph, op, k) and return their side artifacts on every lookup.
+func TestCorpusDerivedKeying(t *testing.T) {
+	c := NewCorpus()
+	base := c.Grid(4, 4)
+	lg1, edges1, err := c.LineGraphOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg2, edges2, err := c.LineGraphOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg1 != lg2 || &edges1[0] != &edges2[0] {
+		t.Fatal("line graph not cached per source")
+	}
+	p2, err := c.PowerOf(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := c.PowerOf(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p3 {
+		t.Fatal("powers with different k collided")
+	}
+	if again, _ := c.PowerOf(base, 2); again != p2 {
+		t.Fatal("power not cached")
+	}
+	pg1, copies1, err := c.ProductOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, copies2, err := c.ProductOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg1 != pg2 || &copies1[0] != &copies2[0] {
+		t.Fatal("product not cached per source")
+	}
+	// A different source graph with equal parameters is a different key.
+	other := Grid(4, 4)
+	lgOther, _, err := c.LineGraphOf(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lgOther == lg1 {
+		t.Fatal("derived cache keyed by value, not source identity")
+	}
+}
+
+// TestCorpusConcurrentBuildOnce floods one cold key from many goroutines:
+// the generator must run exactly once and everyone must get that instance.
+// Run under -race in CI.
+func TestCorpusConcurrentBuildOnce(t *testing.T) {
+	c := NewCorpus()
+	var builds atomic.Int64
+	key := CorpusKey{Family: "custom", A: 99}
+	const goroutines = 16
+	got := make([]*Graph, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Get(key, func() (*Graph, error) {
+				builds.Add(1)
+				return Path(500), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("generator ran %d times, want 1", builds.Load())
+	}
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent callers saw different instances")
+		}
+	}
+	if h, m := c.Stats(); m != 1 || h != goroutines-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", h, m, goroutines-1)
+	}
+}

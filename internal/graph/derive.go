@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -18,35 +19,68 @@ func UnpackIDs(p int64) (a, b int64) { return p >> 31, p & MaxID }
 // corresponds to edges[i] of the also-returned canonical edge list, and
 // carries identity PackIDs(idU, idV) with idU < idV, matching the virtual
 // identities used by the line-graph lift.
+//
+// The construction is CSR-direct: no edge→index map and no Builder re-sort.
+// Edge indices are lexicographic in (min endpoint, max endpoint), so the
+// incident-edge list of every vertex is already sorted in port order, and the
+// neighbours of line-node e = {u, v} are the merge of u's and v's incident
+// lists (which share exactly e itself) — each adjacency segment is emitted
+// sorted in one pass.
 func LineGraph(g *Graph) (*Graph, []Edge, error) {
 	edges := g.Edges()
-	idx := make(map[Edge]int, len(edges))
-	for i, e := range edges {
-		idx[e] = i
-	}
-	b := NewBuilder(len(edges))
+	m := len(edges)
+	ids := make([]int64, m)
 	for i, e := range edges {
 		u, v := g.ID(int(e.U)), g.ID(int(e.V))
 		if u > v {
 			u, v = v, u
 		}
-		b.SetID(i, PackIDs(u, v))
+		ids[i] = PackIDs(u, v)
 	}
-	for i, e := range edges {
-		for _, endpoint := range [2]int32{e.U, e.V} {
-			for _, w := range g.Neighbors(int(endpoint)) {
-				f := Edge{U: endpoint, V: w}
-				if f.U > f.V {
-					f.U, f.V = f.V, f.U
-				}
-				j := idx[f]
-				if j != i {
-					b.AddEdge(i, j)
-				}
+	// inc[d] is the undirected-edge index of directed edge d. Both directions
+	// of edge i are stamped when the lexicographically first endpoint reaches
+	// it, so inc[AdjOffset(u):][k] is ascending for every vertex u: ports with
+	// v < u inherit the (v, u) block order, ports with v > u the (u, v) one,
+	// and every (·<u) block precedes the (u, ·) block.
+	inc := make([]int32, 2*g.NumEdges())
+	next := int32(0)
+	for u := 0; u < g.N(); u++ {
+		off := g.AdjOffset(u)
+		rev := g.ReverseEdges(u)
+		for k, v := range g.Neighbors(u) {
+			if int(v) > u {
+				inc[off+k] = next
+				inc[rev[k]] = next
+				next++
 			}
 		}
 	}
-	lg, err := b.Build()
+	loff := make([]int32, m+1)
+	for i, e := range edges {
+		loff[i+1] = loff[i] + int32(g.Degree(int(e.U))+g.Degree(int(e.V))-2)
+	}
+	data := make([]int32, loff[m])
+	for i, e := range edges {
+		a := inc[g.AdjOffset(int(e.U)):][:g.Degree(int(e.U))]
+		b := inc[g.AdjOffset(int(e.V)):][:g.Degree(int(e.V))]
+		w := loff[i]
+		x, y := 0, 0
+		for x < len(a) || y < len(b) {
+			var id int32
+			if y == len(b) || (x < len(a) && a[x] < b[y]) {
+				id = a[x]
+				x++
+			} else {
+				id = b[y]
+				y++
+			}
+			if id != int32(i) {
+				data[w] = id
+				w++
+			}
+		}
+	}
+	lg, err := newFromSortedCSR(ids, loff, data)
 	if err != nil {
 		return nil, nil, fmt.Errorf("graph: line graph: %w", err)
 	}
@@ -55,16 +89,24 @@ func LineGraph(g *Graph) (*Graph, []Edge, error) {
 
 // Power returns the k-th power g^k: same nodes and identities, with an edge
 // between any two distinct nodes at distance at most k in g.
+//
+// The construction is CSR-direct: each node's BFS ball (one flat scratch
+// queue reused across nodes, stamp-reset) is sorted in place and written
+// straight into the power graph's adjacency array — no Builder arc
+// accumulation, counting sort or deduplication pass.
 func Power(g *Graph, k int) (*Graph, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("graph: power exponent %d < 1", k)
 	}
 	n := g.N()
-	b := NewBuilder(n)
+	ids := make([]int64, n)
 	for u := 0; u < n; u++ {
-		b.SetID(u, g.ID(u))
+		ids[u] = g.ID(u)
 	}
-	// BFS to depth k from every node.
+	off := make([]int32, n+1)
+	data := make([]int32, 0, 2*g.NumEdges())
+	// BFS to depth k from every node; queue[1:] is exactly u's neighbourhood
+	// in g^k, sorted before being appended to the CSR array.
 	dist := make([]int, n)
 	queue := make([]int32, 0, n)
 	stamp := make([]int, n)
@@ -72,8 +114,7 @@ func Power(g *Graph, k int) (*Graph, error) {
 		stamp[i] = -1
 	}
 	for u := 0; u < n; u++ {
-		queue = queue[:0]
-		queue = append(queue, int32(u))
+		queue = append(queue[:0], int32(u))
 		stamp[u] = u
 		dist[u] = 0
 		for head := 0; head < len(queue); head++ {
@@ -86,16 +127,15 @@ func Power(g *Graph, k int) (*Graph, error) {
 					stamp[y] = u
 					dist[y] = dist[x] + 1
 					queue = append(queue, y)
-					if int(y) > u {
-						b.AddEdge(u, int(y))
-					} else {
-						b.AddEdge(int(y), u)
-					}
 				}
 			}
 		}
+		reach := queue[1:]
+		slices.Sort(reach)
+		data = append(data, reach...)
+		off[u+1] = int32(len(data))
 	}
-	return b.Build()
+	return newFromSortedCSR(ids, off, slices.Clip(data))
 }
 
 // CliqueCopy identifies one node of the clique product: copy I (1-based,

@@ -1,0 +1,173 @@
+package graph
+
+// Differential tests for the CSR-direct LineGraph and Power constructions
+// against the pre-flattening reference implementations (map-of-neighbors +
+// Builder), frozen below verbatim. The flattened builds must be
+// indistinguishable: same identities, same adjacency, same canonical edge
+// lists, same precomputed tables.
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+)
+
+// lineGraphRef is the frozen pre-flattening implementation.
+func lineGraphRef(g *Graph) (*Graph, []Edge, error) {
+	edges := g.Edges()
+	idx := make(map[Edge]int, len(edges))
+	for i, e := range edges {
+		idx[e] = i
+	}
+	b := NewBuilder(len(edges))
+	for i, e := range edges {
+		u, v := g.ID(int(e.U)), g.ID(int(e.V))
+		if u > v {
+			u, v = v, u
+		}
+		b.SetID(i, PackIDs(u, v))
+	}
+	for i, e := range edges {
+		for _, endpoint := range [2]int32{e.U, e.V} {
+			for _, w := range g.Neighbors(int(endpoint)) {
+				f := Edge{U: endpoint, V: w}
+				if f.U > f.V {
+					f.U, f.V = f.V, f.U
+				}
+				j := idx[f]
+				if j != i {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	lg, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: line graph: %w", err)
+	}
+	return lg, edges, nil
+}
+
+// powerRef is the frozen pre-flattening implementation.
+func powerRef(g *Graph, k int) (*Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: power exponent %d < 1", k)
+	}
+	n := g.N()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.SetID(u, g.ID(u))
+	}
+	dist := make([]int, n)
+	queue := make([]int32, 0, n)
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		queue = append(queue[:0], int32(u))
+		stamp[u] = u
+		dist[u] = 0
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			if dist[x] == k {
+				continue
+			}
+			for _, y := range g.Neighbors(int(x)) {
+				if stamp[y] != u {
+					stamp[y] = u
+					dist[y] = dist[x] + 1
+					queue = append(queue, y)
+					if int(y) > u {
+						b.AddEdge(u, int(y))
+					} else {
+						b.AddEdge(int(y), u)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// sameGraph asserts two graphs are structurally identical, tables included.
+func sameGraph(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.NumEdges() != want.NumEdges() ||
+		got.MaxDegree() != want.MaxDegree() || got.MaxIDValue() != want.MaxIDValue() {
+		t.Fatalf("%s: shape differs: n=%d/%d m=%d/%d Δ=%d/%d maxID=%d/%d", label,
+			got.N(), want.N(), got.NumEdges(), want.NumEdges(),
+			got.MaxDegree(), want.MaxDegree(), got.MaxIDValue(), want.MaxIDValue())
+	}
+	if !slices.Equal(got.ids, want.ids) {
+		t.Fatalf("%s: identities differ", label)
+	}
+	if !slices.Equal(got.off, want.off) || !slices.Equal(got.data, want.data) {
+		t.Fatalf("%s: adjacency differs", label)
+	}
+	if !slices.Equal(got.back, want.back) || !slices.Equal(got.cross, want.cross) {
+		t.Fatalf("%s: reverse tables differ", label)
+	}
+}
+
+func deriveFamilies(t *testing.T) map[string]*Graph {
+	t.Helper()
+	gnp, err := GNP(150, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := RandomRegular(64, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := Cycle(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{
+		"gnp":     gnp,
+		"regular": reg,
+		"cycle":   cyc,
+		"grid":    Grid(7, 5),
+		"star":    Star(30),
+		"tree":    RandomTree(90, 11),
+		"clique":  Complete(12),
+		"empty":   Empty(5),
+		"single":  Path(1),
+	}
+}
+
+func TestLineGraphMatchesReference(t *testing.T) {
+	for name, g := range deriveFamilies(t) {
+		got, gotEdges, err := LineGraph(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, wantEdges, err := lineGraphRef(g)
+		if err != nil {
+			t.Fatalf("%s: ref: %v", name, err)
+		}
+		if !slices.Equal(gotEdges, wantEdges) {
+			t.Fatalf("%s: canonical edge lists differ", name)
+		}
+		sameGraph(t, name, got, want)
+		checkSimple(t, got)
+	}
+}
+
+func TestPowerMatchesReference(t *testing.T) {
+	for name, g := range deriveFamilies(t) {
+		for _, k := range []int{1, 2, 3} {
+			got, err := Power(g, k)
+			if err != nil {
+				t.Fatalf("%s^%d: %v", name, k, err)
+			}
+			want, err := powerRef(g, k)
+			if err != nil {
+				t.Fatalf("%s^%d: ref: %v", name, k, err)
+			}
+			sameGraph(t, fmt.Sprintf("%s^%d", name, k), got, want)
+			checkSimple(t, got)
+		}
+	}
+}

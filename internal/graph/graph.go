@@ -183,25 +183,81 @@ func (b *Builder) markBad(u, v int) {
 	b.bad = append(b.bad, badEdge{u, v})
 }
 
+// makeIDIndex validates a node-identity slice and returns the id→index
+// lookup table and the maximum identity.
+func makeIDIndex(ids []int64) (map[int64]int32, int64, error) {
+	idIdx := make(map[int64]int32, len(ids))
+	var maxID int64
+	for u, id := range ids {
+		if id <= 0 || id > MaxPackedID {
+			return nil, 0, fmt.Errorf("graph: node %d has out-of-range identity %d", u, id)
+		}
+		if prev, dup := idIdx[id]; dup {
+			return nil, 0, fmt.Errorf("graph: nodes %d and %d share identity %d", prev, u, id)
+		}
+		idIdx[id] = int32(u)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	return idIdx, maxID, nil
+}
+
+// finishCSR derives everything a Graph precomputes from its sorted CSR
+// adjacency (g.off, g.data): the reverse-port and reverse-edge tables, the
+// maximum degree and the edge count.
+func (g *Graph) finishCSR() {
+	n := len(g.ids)
+	w := int32(len(g.data))
+	g.edges = int(w) / 2
+	g.back = make([]int32, w)
+	g.cross = make([]int32, w)
+	for u := 0; u < n; u++ {
+		if deg := int(g.off[u+1] - g.off[u]); deg > g.maxDeg {
+			g.maxDeg = deg
+		}
+		for e := g.off[u]; e < g.off[u+1]; e++ {
+			v := g.data[e]
+			seg := g.data[g.off[v]:g.off[v+1]]
+			i, _ := slices.BinarySearch(seg, int32(u))
+			g.back[e] = int32(i)
+			g.cross[e] = g.off[v] + int32(i)
+		}
+	}
+}
+
+// newFromSortedCSR builds a Graph directly from ids and a sorted CSR
+// adjacency, bypassing the Builder's arc accumulation, counting sort and
+// deduplication. The caller guarantees structural validity: off has len(ids)+1
+// monotone entries, each segment data[off[u]:off[u+1]] is strictly increasing,
+// self-loop free and symmetric. The derived constructions (LineGraph, Power)
+// produce exactly this shape, so they skip the Builder entirely; identity
+// validation still runs.
+func newFromSortedCSR(ids []int64, off, data []int32) (*Graph, error) {
+	idIdx, maxID, err := makeIDIndex(ids)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		ids:   ids,
+		off:   off,
+		data:  data,
+		maxID: maxID,
+		idIdx: idIdx,
+	}
+	g.finishCSR()
+	return g, nil
+}
+
 // Build validates the accumulated data and returns the immutable graph.
 func (b *Builder) Build() (*Graph, error) {
 	if len(b.bad) > 0 {
 		return nil, fmt.Errorf("%w: {%d,%d} (n=%d)", errBadEdge, b.bad[0].u, b.bad[0].v, len(b.ids))
 	}
 	n := len(b.ids)
-	idIdx := make(map[int64]int32, n)
-	var maxID int64
-	for u, id := range b.ids {
-		if id <= 0 || id > MaxPackedID {
-			return nil, fmt.Errorf("graph: node %d has out-of-range identity %d", u, id)
-		}
-		if prev, dup := idIdx[id]; dup {
-			return nil, fmt.Errorf("graph: nodes %d and %d share identity %d", prev, u, id)
-		}
-		idIdx[id] = int32(u)
-		if id > maxID {
-			maxID = id
-		}
+	idIdx, maxID, err := makeIDIndex(b.ids)
+	if err != nil {
+		return nil, err
 	}
 	g := &Graph{
 		ids:   append([]int64(nil), b.ids...),
@@ -239,27 +295,10 @@ func (b *Builder) Build() (*Graph, error) {
 			}
 		}
 		off[u] = start
-		if deg := int(w - start); deg > g.maxDeg {
-			g.maxDeg = deg
-		}
 	}
 	off[n] = w
 	g.off = off
 	g.data = data[:w:w]
-	g.edges = int(w) / 2
-
-	// Reverse-port and reverse-edge tables: for each directed edge locate the
-	// source inside the destination's sorted segment.
-	g.back = make([]int32, w)
-	g.cross = make([]int32, w)
-	for u := 0; u < n; u++ {
-		for e := off[u]; e < off[u+1]; e++ {
-			v := g.data[e]
-			seg := g.data[off[v]:off[v+1]]
-			i, _ := slices.BinarySearch(seg, int32(u))
-			g.back[e] = int32(i)
-			g.cross[e] = off[v] + int32(i)
-		}
-	}
+	g.finishCSR()
 	return g, nil
 }

@@ -32,6 +32,11 @@ type Options struct {
 	// Workers overrides the worker count for parallel execution; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// State optionally supplies a reusable engine state (see RunState). If
+	// nil, Run recycles one from an internal size-bucketed pool. A non-nil
+	// State must not be used by two Runs concurrently; results are
+	// byte-identical either way.
+	State *RunState
 }
 
 // Result reports the outcome of a simulation.
@@ -89,13 +94,25 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 		workers = 1
 	}
 
-	states := make([]Node, n)
-	halted := make([]bool, n)
+	// Every per-run buffer below lives in a RunState: resliced, selectively
+	// cleared and reused across runs instead of reallocated (see runstate.go).
+	// Only haltRounds and outputs are built fresh — they escape into the
+	// returned Result and must survive the state's next reuse.
+	lanes := 2 * g.NumEdges()
+	st := opts.State
+	if st == nil {
+		st = AcquireRunState(n, g.NumEdges())
+		defer st.Release()
+	}
+	st.prepare(n, lanes, workers)
+	st.lanesDirty = true
+	states := st.states
+	halted := st.halted
 	haltRounds := make([]int, n)
 	outputs := make([]any, n)
 	// All neighbour-ID slices are carved from one flat arena (the CSR
 	// layout makes the total exactly 2|E|), one allocation instead of n.
-	idArena := make([]int64, 0, 2*g.NumEdges())
+	idArena := st.idArena
 	for u := 0; u < n; u++ {
 		start := len(idArena)
 		idArena = g.NeighborIDs(idArena, u)
@@ -107,23 +124,24 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 		}
 		states[u] = a.New(info)
 	}
+	st.idArena = idArena
 
 	// Flat message lanes: slot AdjOffset(u)+k carries the message awaiting u
 	// on port k. A node clears only its own inbox slots, and only those that
 	// were actually written, after reading them; slots of halted nodes are
-	// never read again, so no global wipe of the lanes is ever needed.
-	lanes := 2 * g.NumEdges()
-	inbox := make([]Message, lanes)
-	next := make([]Message, lanes)
+	// never read again, so no global wipe of the lanes is ever needed during
+	// a run (prepare wipes stale slots once, before the next reuse).
+	inbox := st.inbox
+	next := st.next
 
 	// The frontier lists live nodes in increasing order; halting nodes are
 	// compacted out after each round, so late rounds only touch live nodes.
-	frontier := make([]int32, n)
+	frontier := st.frontier
 	for u := range frontier {
 		frontier[u] = int32(u)
 	}
 
-	tallies := make([]workerTally, workers)
+	tallies := st.tallies
 	step := func(w, r int, items []int32) {
 		t := &tallies[w]
 		sent := int64(0)

@@ -30,6 +30,12 @@ type Message = any
 // identity and input, its degree, the identities of its neighbours in port
 // order (the standard one-round "KT1" convenience), and a private
 // deterministic randomness source.
+//
+// The Neighbors slice is borrowed from engine-owned storage that is recycled
+// across runs: it stays valid (and immutable) for the lifetime of the run
+// that created the node, but must not be retained past it — in particular,
+// a value returned from Output must not alias it (copy the identities
+// instead), or the Result would mutate when the engine state is reused.
 type Info struct {
 	ID        int64
 	Degree    int

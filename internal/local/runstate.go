@@ -1,0 +1,156 @@
+package local
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// RunState holds every per-run buffer the simulation engine needs: the node
+// state-machine slice, the halted bitmap, the neighbour-identity arena, the
+// two flat message lanes, the live-node frontier and the per-worker tallies.
+// Extracting them from Run makes warm runs on same-shaped graphs near-zero-
+// alloc: a state is prepared (resliced and selectively cleared, never
+// reallocated) instead of built from scratch, and Run recycles states through
+// an internal size-bucketed pool when the caller does not supply one.
+//
+// The zero value is ready to use. A RunState may be reused across any number
+// of sequential Runs on graphs of any shape (buffers grow as needed and
+// persist), but it must never be shared by two concurrent Runs. Results are
+// byte-identical to fresh-state runs for every reuse pattern and worker
+// count; TestRunStatePooledReuseByteIdentical enforces this differentially.
+//
+// Buffers that escape into the returned Result (Outputs, HaltRounds) are
+// deliberately NOT part of the state: a Result stays valid after its
+// RunState is reused or released.
+type RunState struct {
+	states   []Node
+	halted   []bool
+	idArena  []int64
+	inbox    []Message
+	next     []Message
+	frontier []int32
+	tallies  []workerTally
+
+	// lanesDirty records that inbox/next may hold stale messages from a
+	// previous run (slots of halted nodes are never cleared during a run, see
+	// engine.go), so prepare must wipe them before the lanes are trusted.
+	lanesDirty bool
+	// lanesHigh is the lane count of the previous run — the exact bound of
+	// the possibly-dirty region. It is reset to the current run's lanes by
+	// every prepare (everything beyond is clean by then), so a small run
+	// after a large one wipes O(its own lanes), not O(largest ever).
+	lanesHigh int
+	// allocs counts the buffer allocations this state has performed. Warm
+	// runs leave it unchanged; the sweep scheduler reads per-run deltas from
+	// it as a deterministic, concurrency-safe allocation metric.
+	allocs uint64
+}
+
+// Allocs returns the cumulative number of engine-buffer allocations this
+// state has performed. The counter is deterministic (no GC or cross-goroutine
+// noise): a run on a shape the state has already seen adds zero.
+func (s *RunState) Allocs() uint64 { return s.allocs }
+
+// prepare sizes every buffer for a run on n nodes, lanes directed edges and
+// the given worker count, clearing exactly the per-run data that must not
+// leak between runs (halt flags, stale lane slots, tallies).
+func (s *RunState) prepare(n, lanes, workers int) {
+	if cap(s.states) < n {
+		s.states = make([]Node, n)
+		s.allocs++
+	} else {
+		// Every slot [0, n) is overwritten by the wake-up loop; stale Node
+		// pointers beyond n were cleared on release (pool path) or keep the
+		// previous run's nodes alive only until the next larger run (explicit
+		// reuse), which matches the old one-allocation-per-run lifetime.
+		s.states = s.states[:n]
+	}
+	if cap(s.halted) < n {
+		s.halted = make([]bool, n)
+		s.allocs++
+	} else {
+		s.halted = s.halted[:n]
+		clear(s.halted)
+	}
+	if cap(s.idArena) < lanes {
+		s.idArena = make([]int64, 0, lanes)
+		s.allocs++
+	} else {
+		s.idArena = s.idArena[:0]
+	}
+	if cap(s.inbox) < lanes {
+		s.inbox = make([]Message, lanes)
+		s.next = make([]Message, lanes)
+		s.allocs += 2
+		s.lanesDirty = false
+	} else {
+		s.inbox = s.inbox[:lanes]
+		s.next = s.next[:lanes]
+		if s.lanesDirty {
+			// Wipe the union of the previous run's dirty region and this
+			// run's window (reslicing past len up to cap is what bounds the
+			// clear when the previous run was the larger one).
+			high := max(s.lanesHigh, lanes)
+			clear(s.inbox[:high])
+			clear(s.next[:high])
+			s.lanesDirty = false
+		}
+	}
+	// Every slot beyond lanes is clean now — freshly allocated, just wiped,
+	// or never dirtied — and the coming run writes only [0, lanes).
+	s.lanesHigh = lanes
+	if cap(s.frontier) < n {
+		s.frontier = make([]int32, n)
+		s.allocs++
+	} else {
+		s.frontier = s.frontier[:n]
+	}
+	if cap(s.tallies) < workers {
+		s.tallies = make([]workerTally, workers)
+		s.allocs++
+	} else {
+		s.tallies = s.tallies[:workers]
+		for w := range s.tallies {
+			s.tallies[w] = workerTally{}
+		}
+	}
+}
+
+// runStatePools buckets reusable states by the power-of-two class of their
+// dominant dimension (nodes + lane slots), so a warm Run on a same-shaped
+// graph pops a state whose buffers already fit and never grows them, while
+// wildly different shapes never evict each other's buffers.
+var runStatePools [bits.UintSize + 1]sync.Pool
+
+func stateSizeClass(n, lanes int) int { return bits.Len(uint(n + lanes)) }
+
+// AcquireRunState fetches a reusable engine state for a graph with n nodes
+// and edges edges from the internal size-bucketed pool (allocating an empty
+// one on pool miss). Callers that drive many whole simulations — the sweep
+// scheduler's workers — hold one state per goroutine and pass it via
+// Options.State; everyone else can ignore this: Run pools automatically when
+// Options.State is nil.
+func AcquireRunState(n, edges int) *RunState {
+	if st, _ := runStatePools[stateSizeClass(n, 2*edges)].Get().(*RunState); st != nil {
+		return st
+	}
+	return &RunState{}
+}
+
+// Release returns the state to the pool it is bucketed in by its current
+// capacity. The caller must not use the state afterwards; Results produced
+// with it remain valid (they never alias pooled memory).
+func (s *RunState) Release() {
+	// Drop the node state machines and the lane contents so the pool doesn't
+	// pin a dead run's algorithm state or final message values — a released
+	// state may sit in the pool for a whole GC cycle. This is the same wipe
+	// prepare would do lazily, just paid up front.
+	clear(s.states[:cap(s.states)])
+	if s.lanesDirty {
+		clear(s.inbox)
+		clear(s.next)
+		s.lanesDirty = false
+		s.lanesHigh = 0
+	}
+	runStatePools[stateSizeClass(cap(s.states), cap(s.inbox))].Put(s)
+}

@@ -1,0 +1,132 @@
+package local_test
+
+// RunState pooling tests: a state reused across runs — same shape, changed
+// shape, interleaved graphs, every worker count — must produce Results
+// byte-identical to fresh-state runs, and warm same-shape reuse must not
+// allocate engine buffers.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// TestRunStatePooledReuseByteIdentical is the pooled-reuse differential: one
+// explicit RunState driven through every (graph, algorithm, seed, workers)
+// combination twice over — so every run after the first sees a dirty, reused
+// state — must reproduce the fresh-state Result exactly.
+func TestRunStatePooledReuseByteIdentical(t *testing.T) {
+	algos := map[string]local.Algorithm{
+		"waves":       waveAlgo(7, 4),
+		"random-halt": randHaltAlgo(),
+	}
+	st := &local.RunState{}
+	for pass := 0; pass < 2; pass++ {
+		for gname, g := range testGraphs(t) {
+			for aname, a := range algos {
+				for _, seed := range []int64{0, 3} {
+					fresh, err := local.Run(g, a, local.Options{Seed: seed, Sequential: true, State: &local.RunState{}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, w := range workerCounts() {
+						pooled, err := local.Run(g, a, local.Options{Seed: seed, Workers: w, State: st})
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := gname + "/" + aname + "/pooled"
+						sameResult(t, label, fresh, pooled)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunStateResultSurvivesReuse pins the ownership contract: a Result must
+// stay intact after the state that produced it runs something else.
+func TestRunStateResultSurvivesReuse(t *testing.T) {
+	st := &local.RunState{}
+	g := graph.Star(64)
+	a := waveAlgo(5, 3)
+	first, err := local.Run(g, a, local.Options{Seed: 1, State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutputs := append([]any(nil), first.Outputs...)
+	wantHalts := append([]int(nil), first.HaltRounds...)
+	if _, err := local.Run(graph.Path(200), randHaltAlgo(), local.Options{Seed: 9, State: st}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Outputs, wantOutputs) || !reflect.DeepEqual(first.HaltRounds, wantHalts) {
+		t.Fatal("Result mutated by a later run on the same RunState")
+	}
+}
+
+// TestRunStateWarmRunsDoNotGrow pins the near-zero-alloc claim at the level
+// the state controls: after one cold run, repeat runs on the same shape must
+// perform zero engine-buffer allocations, and the global pool path must be
+// warm by the second Run.
+func TestRunStateWarmRunsDoNotGrow(t *testing.T) {
+	g := graph.Path(512)
+	a := waveAlgo(4, 2)
+	st := &local.RunState{}
+	if _, err := local.Run(g, a, local.Options{Seed: 1, Sequential: true, State: st}); err != nil {
+		t.Fatal(err)
+	}
+	cold := st.Allocs()
+	if cold == 0 {
+		t.Fatal("cold run reported zero buffer allocations")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := local.Run(g, a, local.Options{Seed: int64(i), Sequential: true, State: st}); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Allocs(); got != cold {
+			t.Fatalf("warm run %d grew engine buffers: allocs %d -> %d", i, cold, got)
+		}
+	}
+	// Acquire/Release round-trip: a released state of the right size class
+	// comes back warm.
+	st2 := local.AcquireRunState(g.N(), g.NumEdges())
+	if _, err := local.Run(g, a, local.Options{Seed: 5, Sequential: true, State: st2}); err != nil {
+		t.Fatal(err)
+	}
+	before := st2.Allocs()
+	st2.Release()
+	st3 := local.AcquireRunState(g.N(), g.NumEdges())
+	if _, err := local.Run(g, a, local.Options{Seed: 6, Sequential: true, State: st3}); err != nil {
+		t.Fatal(err)
+	}
+	if st3 == st2 && st3.Allocs() != before {
+		t.Fatalf("recycled state grew on a same-shaped run: %d -> %d", before, st3.Allocs())
+	}
+}
+
+// TestRunStateShapeChangesStayCorrect drives one state through alternating
+// small/large shapes so stale lanes and oversized buffers from the bigger
+// graph are visible to the smaller one if any reset step is missed.
+func TestRunStateShapeChangesStayCorrect(t *testing.T) {
+	small := graph.Star(20)
+	big, err := graph.GNP(600, 0.02, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := waveAlgo(6, 2)
+	st := &local.RunState{}
+	for i := 0; i < 3; i++ {
+		for _, g := range []*graph.Graph{big, small} {
+			fresh, err := local.Run(g, a, local.Options{Seed: 2, Sequential: true, State: &local.RunState{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := local.Run(g, a, local.Options{Seed: 2, Workers: 3, State: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "shape-change", fresh, pooled)
+		}
+	}
+}

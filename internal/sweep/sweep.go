@@ -1,0 +1,189 @@
+// Package sweep schedules batches of independent LOCAL simulations — the
+// workload the paper implies: many (graph, algorithm, seed) runs per
+// transformer, swept over graph families. Runs are embarrassingly parallel at
+// run granularity, so the scheduler executes whole simulations concurrently
+// over a bounded worker set while keeping everything the harness consumes
+// deterministic:
+//
+//   - Result ordering is positional: results[i] always belongs to jobs[i],
+//     regardless of completion order.
+//   - Simulation outcomes (outputs, halt rounds, rounds, messages) are pure
+//     functions of (graph, algorithm, seed) — the engine guarantees
+//     byte-identical Results for any worker count — so a parallel sweep
+//     reproduces a sequential one exactly.
+//   - Per-job metrics avoid the global-runtime.MemStats hack: each worker
+//     owns a pooled local.RunState and reads per-run allocation deltas from
+//     its counter, which no concurrent run, GC cycle or unrelated goroutine
+//     can perturb. (At Parallel == 1 the alloc metric is additionally
+//     reproducible across invocations; in a parallel batch the job→worker
+//     placement — and hence which jobs find a warm state — is
+//     timing-dependent, though the counters themselves stay exact.)
+//
+// cmd/localbench and the repo-level benchmarks submit their experiments here;
+// Stats carries the batch-level throughput (jobs/sec, cumulative engine
+// allocations) recorded in BENCH.json across PRs.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// Job specifies one independent simulation.
+type Job struct {
+	// Label identifies the job in harness output; the scheduler ignores it.
+	Label string
+	// Graph is the (immutable, shareable) topology to run on.
+	Graph *graph.Graph
+	// Algo returns the algorithm to simulate. It is invoked on the scheduler
+	// worker executing the job, concurrently with other jobs' factories, so
+	// it must be safe for concurrent use. Returning one shared memoized
+	// algorithm value from many factories is both safe and preferred (the
+	// plan cache is then paid once, see DESIGN.md §2.5).
+	Algo func() local.Algorithm
+	// Seed drives the run's randomness.
+	Seed int64
+	// MaxRounds caps the simulation; 0 means the engine default.
+	MaxRounds int
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Res is the simulation result, nil when Err is non-nil.
+	Res *local.Result
+	// Err is the simulation error, if any. One failing job does not stop the
+	// batch; callers decide what a failure means for their sweep.
+	Err error
+	// Wall is the wall-clock duration of this run alone.
+	Wall time.Duration
+	// Allocs is the number of engine-buffer allocations this run performed
+	// (the per-worker RunState counter delta). Warm runs on shapes the
+	// worker has already seen report 0. The counter is exact — never
+	// polluted by concurrent runs or GC — and reproducible across
+	// invocations at Parallel == 1; in a parallel batch, which jobs land on
+	// a warm worker depends on scheduling.
+	Allocs uint64
+}
+
+// Stats aggregates one batch.
+type Stats struct {
+	// Jobs is the number of jobs executed.
+	Jobs int
+	// Workers is the resolved scheduler worker count.
+	Workers int
+	// Wall is the wall-clock duration of the whole batch.
+	Wall time.Duration
+	// JobsPerSec is Jobs divided by Wall.
+	JobsPerSec float64
+	// EngineAllocs is the sum of all per-job Allocs.
+	EngineAllocs uint64
+}
+
+// Options configures a batch.
+type Options struct {
+	// Parallel is the number of simulations in flight; 0 means GOMAXPROCS,
+	// and the count is clamped to the job count. Parallel == 1 runs inline
+	// on the calling goroutine with no scheduling overhead.
+	Parallel int
+	// EngineWorkers pins the per-simulation engine worker count. 0 picks the
+	// sensible default for the batch shape: sequential engines when the
+	// scheduler itself is parallel (run-level parallelism replaces
+	// round-level parallelism without oversubscribing), GOMAXPROCS engines
+	// when Parallel == 1.
+	EngineWorkers int
+}
+
+// Run executes the jobs and returns their results in job order plus the
+// batch statistics. Deterministic fields of the results are identical for
+// every Parallel and EngineWorkers setting.
+func Run(jobs []Job, opts Options) ([]Result, Stats) {
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	engineOpts := local.Options{Workers: opts.EngineWorkers}
+	if opts.EngineWorkers == 0 && parallel > 1 {
+		engineOpts.Sequential = true
+	}
+
+	results := make([]Result, len(jobs))
+	start := time.Now()
+	var cursor atomic.Int64
+	worker := func() {
+		// One pooled engine state per worker: jobs on this worker reuse its
+		// buffers back to back, and the pool recycles it across batches.
+		var st *local.RunState
+		defer func() {
+			if st != nil {
+				st.Release()
+			}
+		}()
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			j := &jobs[i]
+			if st == nil {
+				st = local.AcquireRunState(j.Graph.N(), j.Graph.NumEdges())
+			}
+			o := engineOpts
+			o.Seed = j.Seed
+			o.MaxRounds = j.MaxRounds
+			o.State = st
+			before := st.Allocs()
+			t0 := time.Now()
+			res, err := local.Run(j.Graph, j.Algo(), o)
+			results[i] = Result{
+				Res:    res,
+				Err:    err,
+				Wall:   time.Since(t0),
+				Allocs: st.Allocs() - before,
+			}
+		}
+	}
+	if parallel == 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(parallel)
+		for w := 0; w < parallel; w++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	stats := Stats{Jobs: len(jobs), Workers: parallel, Wall: time.Since(start)}
+	for i := range results {
+		stats.EngineAllocs += results[i].Allocs
+	}
+	if secs := stats.Wall.Seconds(); secs > 0 {
+		stats.JobsPerSec = float64(stats.Jobs) / secs
+	}
+	return results, stats
+}
+
+// FirstErr returns the first job error in job order (a convenience for
+// harnesses that abort a sweep on any failure), or nil.
+func FirstErr(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
