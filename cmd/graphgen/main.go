@@ -2,12 +2,20 @@
 // parameters (n, m, Δ, arboricity bounds, components, diameter for small
 // graphs), optionally emitting Graphviz DOT for inspection.
 //
+// The families and their parameters come from the scenario layer's shared
+// family table (internal/scenario.Families) — the same names a scenario
+// file's "graph" block uses — so this help text, cmd/scenarioctl -families
+// and the corpus validator can never enumerate different lists. Run
+// graphgen -families for the table.
+//
 // Usage:
 //
 //	graphgen -family gnp -n 100 -p 0.05 [-dot] [-seed S]
 //	graphgen -family regular -n 64 -d 4
-//	graphgen -family forest -n 128 -k 3
-//	graphgen -family cycle|path|star|clique|grid|tree -n 32
+//	graphgen -family smallworld -n 256 -k 6 -beta 0.1
+//	graphgen -family geometric -n 256 -r 0.08
+//	graphgen -family ba -n 512 -k 3
+//	graphgen -families
 package main
 
 import (
@@ -16,16 +24,20 @@ import (
 	"os"
 
 	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/scenario"
 )
 
 var (
-	flagFamily = flag.String("family", "gnp", "graph family: gnp, regular, forest, cycle, path, star, clique, grid, tree, caterpillar")
-	flagN      = flag.Int("n", 64, "number of nodes (rows*cols for grid)")
+	flagFamily = flag.String("family", "gnp", "graph family: "+scenario.FamilyNames())
+	flagN      = flag.Int("n", 64, "number of nodes (rows*cols for grid/torus; spine for caterpillar; clique for lollipop)")
 	flagP      = flag.Float64("p", 0.05, "edge probability (gnp)")
-	flagD      = flag.Int("d", 4, "degree (regular)")
-	flagK      = flag.Int("k", 2, "forest count (forest) / legs (caterpillar)")
+	flagR      = flag.Float64("r", 0.1, "connection radius (geometric)")
+	flagBeta   = flag.Float64("beta", 0.1, "rewiring probability (smallworld)")
+	flagD      = flag.Int("d", 4, "degree (regular) / dimension (hypercube)")
+	flagK      = flag.Int("k", 2, "forest count (forest) / legs (caterpillar) / tail (lollipop) / attachments (ba) / lattice degree (smallworld)")
 	flagSeed   = flag.Int64("seed", 1, "generator seed")
 	flagDot    = flag.Bool("dot", false, "emit Graphviz DOT to stdout")
+	flagList   = flag.Bool("families", false, "list the family table and exit")
 )
 
 func main() {
@@ -37,7 +49,11 @@ func main() {
 
 func run() error {
 	flag.Parse()
-	g, err := build()
+	if *flagList {
+		fmt.Print(scenario.FamilyTable())
+		return nil
+	}
+	g, err := toSpec().Build(graph.NewCorpus())
 	if err != nil {
 		return err
 	}
@@ -54,41 +70,36 @@ func run() error {
 	return nil
 }
 
+// toSpec maps the flat flag set onto the declarative GraphSpec the family
+// table consumes. Families that take rows/cols derive a square side from -n,
+// preserving graphgen's historical -n semantics.
+func toSpec() scenario.GraphSpec {
+	gs := scenario.GraphSpec{
+		Family: *flagFamily,
+		N:      *flagN,
+		D:      *flagD,
+		K:      *flagK,
+		P:      *flagP,
+		Radius: *flagR,
+		Beta:   *flagBeta,
+		Seed:   *flagSeed,
+	}
+	switch gs.Family {
+	case "grid", "torus":
+		side := 1
+		for (side+1)*(side+1) <= gs.N {
+			side++
+		}
+		gs.Rows, gs.Cols = side, side
+	}
+	// Every flag has a default, so zero the parameters the family does not
+	// consume — spec validation rejects set-but-unused parameters.
+	return scenario.Normalize(gs)
+}
+
 func deg(g *graph.Graph) int {
 	d, _ := graph.Degeneracy(g)
 	return d
-}
-
-func build() (*graph.Graph, error) {
-	n := *flagN
-	switch *flagFamily {
-	case "gnp":
-		return graph.GNP(n, *flagP, *flagSeed)
-	case "regular":
-		return graph.RandomRegular(n, *flagD, *flagSeed)
-	case "forest":
-		return graph.ForestUnion(n, *flagK, *flagSeed), nil
-	case "cycle":
-		return graph.Cycle(n)
-	case "path":
-		return graph.Path(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "clique":
-		return graph.Complete(n), nil
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= n {
-			side++
-		}
-		return graph.Grid(side, side), nil
-	case "tree":
-		return graph.RandomTree(n, *flagSeed), nil
-	case "caterpillar":
-		return graph.Caterpillar(n, *flagK), nil
-	default:
-		return nil, fmt.Errorf("unknown family %q", *flagFamily)
-	}
 }
 
 func emitDOT(g *graph.Graph) {

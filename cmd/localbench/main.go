@@ -9,8 +9,20 @@
 //	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large]
 //	           [-parallel N] [-workers N] [-json path]
 //	           [-cpuprofile path] [-memprofile path]
+//	localbench -scenarios dir [-exp name] [-seed N] [-parallel N]
+//	           [-workers N] [-json path] [...]
 //
-// Execution is two-phase: every experiment plans its simulations as jobs,
+// With -scenarios, the hard-coded experiment set is replaced by the
+// declarative corpus in the given directory (see internal/scenario and the
+// committed scenarios/): every *.json spec is validated, expanded into sweep
+// jobs and rendered as one markdown section per scenario. -exp then filters
+// scenarios by name instead of experiment id, and -seed shifts every
+// scenario's seed grid (-seed 1, the default, runs the corpus exactly as
+// committed). Scenario output contains only deterministic fields, so it is
+// byte-identical for every -parallel and -workers value — CI's scenario gate
+// diffs a sequential against a fully parallel run of the whole corpus.
+//
+// Otherwise execution is two-phase: every experiment plans its simulations as jobs,
 // the whole batch runs through the internal/sweep scheduler (N whole
 // simulations in flight with -parallel N; graphs come from a shared
 // graph.Corpus so no family is generated twice), and the tables are rendered
@@ -41,6 +53,7 @@ import (
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
+	"github.com/unilocal/unilocal/internal/scenario"
 	"github.com/unilocal/unilocal/internal/sweep"
 )
 
@@ -52,7 +65,8 @@ func main() {
 }
 
 var (
-	flagExp      = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'")
+	flagExp      = flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E9,E10,E13) or 'all'; with -scenarios, a scenario name")
+	flagScen     = flag.String("scenarios", "", "run the declarative scenario corpus in this directory instead of the built-in experiments")
 	flagSeed     = flag.Int64("seed", 1, "simulation seed")
 	flagLarge    = flag.Bool("large", false, "use larger size sweeps")
 	flagParallel = flag.Int("parallel", 1, "simulations in flight (0 = GOMAXPROCS); output is byte-identical for any value")
@@ -166,6 +180,12 @@ func run() error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *flagScen != "" {
+		if err := runScenarios(); err != nil {
+			return err
+		}
+		return writeMemProfile()
+	}
 	exps := map[string]func(*plan) error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E13": e13,
@@ -204,14 +224,65 @@ func run() error {
 			return err
 		}
 	}
-	if *flagMem != "" {
-		f, err := os.Create(*flagMem)
+	return writeMemProfile()
+}
+
+// writeMemProfile honours -memprofile after a run (no-op when unset).
+func writeMemProfile() error {
+	if *flagMem == "" {
+		return nil
+	}
+	f, err := os.Create(*flagMem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// runScenarios executes the declarative corpus under -scenarios: load and
+// validate the directory, optionally filter by -exp, expand through a shared
+// corpus, run the whole batch through the sweep scheduler and render the
+// deterministic markdown tables (plus the JSON document under -json).
+func runScenarios() error {
+	specs, err := scenario.LoadDir(*flagScen)
+	if err != nil {
+		return err
+	}
+	if want := strings.ToLower(*flagExp); want != "all" {
+		var keep []*scenario.Spec
+		for _, s := range specs {
+			if s.Name == want {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) == 0 {
+			return fmt.Errorf("no scenario named %q in %s", want, *flagScen)
+		}
+		specs = keep
+	}
+	batch, err := scenario.Expand(specs, scenario.ExpandOptions{SeedOffset: *flagSeed - 1})
+	if err != nil {
+		return err
+	}
+	results, stats := sweep.Run(batch.Jobs, sweep.Options{
+		Parallel:      *flagParallel,
+		EngineWorkers: *flagWorkers,
+	})
+	if err := scenario.Render(os.Stdout, batch, results); err != nil {
+		return err
+	}
+	if *flagJSON != "" {
+		doc, err := scenario.Doc(batch, results, stats, *flagSeed, *flagParallel, *flagWorkers)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*flagJSON, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -20,5 +20,7 @@
 // Figure 1, and the examples/ directory for runnable entry points. The
 // implementation lives under internal/; the benchmark harness
 // (bench_test.go, cmd/) is the top-level interface for regenerating the
-// paper's evaluation.
+// paper's evaluation, and the declarative scenario corpus under scenarios/
+// (DESIGN.md §2.7, cmd/localbench -scenarios, cmd/scenarioctl) opens the
+// workload beyond the hard-coded experiment set.
 package unilocal

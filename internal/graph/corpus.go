@@ -38,12 +38,14 @@ type CorpusKey struct {
 }
 
 // derivedKey identifies a derived construction by its source graph's
-// identity. Pointer keying is sound because graphs are immutable and the
-// corpus hands out one canonical instance per generated key.
+// identity plus the construction's own parameters. Pointer keying is sound
+// because graphs are immutable and the corpus hands out one canonical
+// instance per generated key.
 type derivedKey struct {
-	src *Graph
-	op  string
-	k   int
+	src  *Graph
+	op   string
+	k    int
+	a, b int64
 }
 
 // corpusEntry carries one built graph plus the side artifacts some
@@ -170,6 +172,44 @@ func (c *Corpus) ForestUnion(n, k int, seed int64) *Graph {
 func (c *Corpus) RandomTree(n int, seed int64) *Graph {
 	key := CorpusKey{Family: "random-tree", A: int64(n), Seed: seed}
 	return mustCorpus(c.Get(key, func() (*Graph, error) { return RandomTree(n, seed), nil }))
+}
+
+// PreferentialAttachment returns the cached Barabási–Albert graph for the
+// given seed.
+func (c *Corpus) PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
+	key := CorpusKey{Family: "ba", A: int64(n), B: int64(m), Seed: seed}
+	return c.Get(key, func() (*Graph, error) { return PreferentialAttachment(n, m, seed) })
+}
+
+// RandomGeometric returns the cached random geometric (unit-disk) graph for
+// the given seed.
+func (c *Corpus) RandomGeometric(n int, r float64, seed int64) (*Graph, error) {
+	key := CorpusKey{Family: "geometric", A: int64(n), F: math.Float64bits(r), Seed: seed}
+	return c.Get(key, func() (*Graph, error) { return RandomGeometric(n, r, seed) })
+}
+
+// WattsStrogatz returns the cached Watts–Strogatz small-world graph for the
+// given seed.
+func (c *Corpus) WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, error) {
+	key := CorpusKey{Family: "smallworld", A: int64(n), B: int64(k), F: math.Float64bits(beta), Seed: seed}
+	return c.Get(key, func() (*Graph, error) { return WattsStrogatz(n, k, beta, seed) })
+}
+
+// ShuffledIDsOf returns the cached WithShuffledIDs perturbation of g. Like
+// the other derived constructions it is keyed by the identity of the source
+// graph, so the scenario layer's ID regimes reuse one perturbed instance per
+// (graph, maxID, seed).
+func (c *Corpus) ShuffledIDsOf(g *Graph, maxID, seed int64) (*Graph, error) {
+	e := c.derivedEntry(derivedKey{src: g, op: "shuffled-ids", a: maxID, b: seed})
+	e.once.Do(func() { e.g, e.err = WithShuffledIDs(g, maxID, seed) })
+	return e.g, e.err
+}
+
+// ClusteredIDsOf returns the cached WithClusteredIDs perturbation of g.
+func (c *Corpus) ClusteredIDsOf(g *Graph, clusters int, maxID, seed int64) (*Graph, error) {
+	e := c.derivedEntry(derivedKey{src: g, op: "clustered-ids", k: clusters, a: maxID, b: seed})
+	e.once.Do(func() { e.g, e.err = WithClusteredIDs(g, clusters, maxID, seed) })
+	return e.g, e.err
 }
 
 // LineGraphOf returns the cached line graph of g with its canonical edge

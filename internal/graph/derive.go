@@ -8,8 +8,16 @@ import (
 
 // PackIDs packs two identities (each in [1, MaxID]) into a single identity
 // for a derived-graph node. The packing is order-preserving lexicographically
-// and injective.
-func PackIDs(a, b int64) int64 { return a<<31 | b }
+// and injective. Inputs outside [1, MaxID] panic: the runtime lifts pack
+// identities deep inside a simulation with no error path, and a loud failure
+// beats two distinct virtual nodes silently colliding on one identity (the
+// scenario layer rejects such graph/algorithm pairings at validation time).
+func PackIDs(a, b int64) int64 {
+	if a < 1 || a > MaxID || b < 1 || b > MaxID {
+		panic(fmt.Sprintf("graph: PackIDs(%d, %d) outside [1, %d]", a, b, MaxID))
+	}
+	return a<<31 | b
+}
 
 // UnpackIDs is the inverse of PackIDs.
 func UnpackIDs(p int64) (a, b int64) { return p >> 31, p & MaxID }
@@ -27,6 +35,10 @@ func UnpackIDs(p int64) (a, b int64) { return p >> 31, p & MaxID }
 // lists (which share exactly e itself) — each adjacency segment is emitted
 // sorted in one pass.
 func LineGraph(g *Graph) (*Graph, []Edge, error) {
+	if g.MaxIDValue() > MaxID {
+		return nil, nil, fmt.Errorf("graph: line graph needs identities <= %d for pair packing, got max %d",
+			MaxID, g.MaxIDValue())
+	}
 	edges := g.Edges()
 	m := len(edges)
 	ids := make([]int64, m)
@@ -153,6 +165,10 @@ type CliqueCopy struct {
 //
 // Copy u_i carries identity PackIDs(ID(u), i), matching the product lift.
 func ProductDegPlusOne(g *Graph) (*Graph, []CliqueCopy, error) {
+	if g.MaxIDValue() > MaxID {
+		return nil, nil, fmt.Errorf("graph: clique product needs identities <= %d for pair packing, got max %d",
+			MaxID, g.MaxIDValue())
+	}
 	n := g.N()
 	offset := make([]int, n+1)
 	for u := 0; u < n; u++ {

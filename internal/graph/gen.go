@@ -386,11 +386,19 @@ func DisjointUnion(gs ...*Graph) *Graph {
 }
 
 // WithShuffledIDs returns a copy of g whose identities are distinct values
-// drawn uniformly from [1, maxID]. It requires maxID >= N.
+// drawn uniformly from [1, maxID]. It requires maxID in [N, MaxPackedID].
+//
+// With maxID == N the result is a uniform dense permutation of 1..N (every
+// value collides until the rejection loop finds the remaining ones — the
+// coupon-collector worst case, still O(n log n) expected draws). With maxID
+// far above MaxID (the scenario layer's sparse-huge regime uses 2^40) the
+// identities exceed what the pair-packing derived constructions can encode:
+// LineGraph and ProductDegPlusOne reject such graphs, while Power and every
+// direct simulation handle them unchanged.
 func WithShuffledIDs(g *Graph, maxID int64, seed int64) (*Graph, error) {
 	n := g.N()
-	if maxID < int64(n) || maxID > MaxID {
-		return nil, fmt.Errorf("graph: maxID %d out of range [n=%d, %d]", maxID, n, MaxID)
+	if maxID < int64(n) || maxID > MaxPackedID {
+		return nil, fmt.Errorf("graph: maxID %d out of range [n=%d, %d]", maxID, n, MaxPackedID)
 	}
 	rng := newRNG(seed)
 	used := make(map[int64]bool, n)
@@ -411,6 +419,221 @@ func WithShuffledIDs(g *Graph, maxID int64, seed int64) (*Graph, error) {
 				b.AddEdge(u, int(v))
 			}
 		}
+	}
+	return b.Build()
+}
+
+// WithClusteredIDs returns a copy of g whose identities are packed into
+// `clusters` tight consecutive blocks spread uniformly across [1, maxID]: the
+// adversarial regime of the scenario layer. Within a block identities differ
+// by 1 (the worst case for identity-based symmetry breaking), while the
+// blocks themselves sit in disjoint maxID/clusters-wide slots, so the
+// identity range — the parameter m a uniform algorithm must discover — is as
+// large as a sparse assignment's. Node-to-block assignment is a uniform
+// permutation. clusters is clamped to N; each block holds ceil(N/clusters)
+// identities, and maxID/clusters must leave room for one block per slot.
+func WithClusteredIDs(g *Graph, clusters int, maxID int64, seed int64) (*Graph, error) {
+	n := g.N()
+	if clusters < 1 {
+		return nil, fmt.Errorf("graph: clusters %d must be >= 1", clusters)
+	}
+	if clusters > n {
+		clusters = n
+	}
+	if maxID < int64(n) || maxID > MaxPackedID {
+		return nil, fmt.Errorf("graph: maxID %d out of range [n=%d, %d]", maxID, n, MaxPackedID)
+	}
+	width := int64((n + clusters - 1) / clusters)
+	slot := maxID / int64(clusters)
+	if slot < width {
+		return nil, fmt.Errorf("graph: maxID %d leaves slots of %d ids for %d clusters of width %d",
+			maxID, slot, clusters, width)
+	}
+	rng := newRNG(seed)
+	bases := make([]int64, clusters)
+	for c := range bases {
+		lo := int64(c)*slot + 1
+		bases[c] = lo + rng.Int64N(slot-width+1)
+	}
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	for i, u := range perm {
+		b.SetID(u, bases[i/int(width)]+int64(i)%width)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < int(v) {
+				b.AddEdge(u, int(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment returns a Barabási–Albert preferential-attachment
+// graph: a clique on m+1 seed nodes, then each new node attaches to m
+// distinct existing nodes chosen proportionally to their current degree
+// (sampled as a uniform draw over edge endpoints). The result is connected
+// with a power-law degree tail and degeneracy at most m. Requires 1 <= m < n.
+func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graph: attachment count %d out of range [1, n=%d)", m, n)
+	}
+	rng := newRNG(seed)
+	b := NewBuilder(n)
+	m0 := m + 1
+	// ends lists both endpoints of every edge so far; a uniform index into it
+	// is a degree-proportional node draw.
+	ends := make([]int32, 0, m0*(m0-1)+2*(n-m0)*m)
+	for u := 0; u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			b.AddEdge(u, v)
+			ends = append(ends, int32(u), int32(v))
+		}
+	}
+	targets := make([]int32, 0, m)
+	for u := m0; u < n; u++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			t := ends[rng.IntN(len(ends))]
+			dup := false
+			for _, x := range targets {
+				if x == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			b.AddEdge(u, int(t))
+			ends = append(ends, int32(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// RandomGeometric returns a random geometric (unit-disk) graph: n points
+// sampled uniformly in the unit square (point u draws its x then its y
+// coordinate, in node order), with an edge between every pair at Euclidean
+// distance <= r. Cell binning keeps generation near-linear in the output
+// size. Requires 0 < r <= 1.
+func RandomGeometric(n int, r float64, seed int64) (*Graph, error) {
+	if !(r > 0 && r <= 1) {
+		return nil, fmt.Errorf("graph: geometric radius %v out of (0, 1]", r)
+	}
+	rng := newRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for u := 0; u < n; u++ {
+		xs[u] = rng.Float64()
+		ys[u] = rng.Float64()
+	}
+	// Cell side must be >= r for the 3x3 neighbourhood scan to be exhaustive;
+	// fewer (larger) cells stay correct, so cap the grid at ~sqrt(n) a side —
+	// a tiny radius must not allocate 1/r² buckets for n points.
+	cells := int(1 / r)
+	if maxCells := int(math.Sqrt(float64(n))) + 1; cells > maxCells {
+		cells = maxCells
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	buckets := make([][]int32, cells*cells)
+	for u := 0; u < n; u++ {
+		c := cellOf(ys[u])*cells + cellOf(xs[u])
+		buckets[c] = append(buckets[c], int32(u))
+	}
+	b := NewBuilder(n)
+	r2 := r * r
+	for u := 0; u < n; u++ {
+		cx, cy := cellOf(xs[u]), cellOf(ys[u])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, v := range buckets[ny*cells+nx] {
+					if int(v) <= u {
+						continue
+					}
+					ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(u, int(v))
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz returns a Watts–Strogatz small-world graph: the ring lattice
+// where each node connects to its k/2 nearest neighbours on each side, with
+// every lattice edge independently rewired with probability beta to a
+// uniform non-adjacent endpoint (keeping the originating lattice endpoint u
+// of the arc (u, u+j) fixed, so the edge count stays exactly n*k/2 and every
+// node keeps at least its k/2 originated edges). beta == 0 is the exact
+// lattice; beta == 1
+// approaches G(n, p) while keeping the minimum degree k/2. Requires k even,
+// 2 <= k < n, and beta in [0, 1].
+func WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, error) {
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("graph: lattice degree %d must be even and in [2, n=%d)", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: rewiring probability %v out of [0, 1]", beta)
+	}
+	rng := newRNG(seed)
+	type arc struct{ u, v int32 }
+	pair := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)*int64(n) + int64(v)
+	}
+	edges := make([]arc, 0, n*k/2)
+	adj := make(map[int64]bool, n*k/2)
+	for j := 1; j <= k/2; j++ {
+		for u := 0; u < n; u++ {
+			v := (u + j) % n
+			edges = append(edges, arc{int32(u), int32(v)})
+			adj[pair(u, v)] = true
+		}
+	}
+	if beta > 0 {
+		for i := range edges {
+			if rng.Float64() >= beta {
+				continue
+			}
+			u, v := int(edges[i].u), int(edges[i].v)
+			// A few rejection attempts; on very dense lattices a node can run
+			// out of non-neighbours, in which case the edge stays.
+			for attempt := 0; attempt < 64; attempt++ {
+				w := rng.IntN(n)
+				if w == u || adj[pair(u, w)] {
+					continue
+				}
+				delete(adj, pair(u, v))
+				adj[pair(u, w)] = true
+				edges[i].v = int32(w)
+				break
+			}
+		}
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e.u), int(e.v))
 	}
 	return b.Build()
 }

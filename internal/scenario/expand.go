@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/unilocal/unilocal/internal/benchfmt"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/sweep"
+)
+
+// ExpandOptions configures the spec → job expansion.
+type ExpandOptions struct {
+	// Corpus memoizes the graphs; nil creates a private one.
+	Corpus *graph.Corpus
+	// SeedOffset is added to every spec seed. cmd/localbench maps its -seed
+	// flag to SeedOffset = seed-1, so the default -seed 1 runs the corpus
+	// exactly as committed while other values shift the whole grid.
+	SeedOffset int64
+}
+
+// JobMeta is the planning-time context of one expanded job.
+type JobMeta struct {
+	// Spec indexes Batch.Specs.
+	Spec int
+	// Algo is the algorithm the job runs; Role is "uniform" (the algorithm
+	// under test) or "baseline".
+	Algo AlgoSpec
+	Role string
+	// Seed is the effective simulation seed (spec seed + offset); Rep is the
+	// repetition index.
+	Seed int64
+	Rep  int
+	// RatioOf is the job index of the same (seed, rep)'s baseline run, or -1.
+	RatioOf int
+	// check validates the run's outputs, or is nil.
+	check func(outputs []any) error
+}
+
+// Batch is an expanded corpus: the jobs in deterministic order (spec order,
+// then seed-major, with the baseline preceding the algorithm under test)
+// plus everything rendering needs.
+type Batch struct {
+	Specs  []*Spec
+	Graphs []*graph.Graph
+	Jobs   []sweep.Job
+	Metas  []JobMeta
+	// AlgoBuilds counts registry Build calls; AlgoShares counts the times a
+	// scenario reused an already-built uniform algorithm (and with it the
+	// algorithm's memoized plan) instead of constructing a fresh one.
+	AlgoBuilds int
+	AlgoShares int
+}
+
+// Expand validates the specs and turns them into sweep jobs. Uniform
+// algorithms (registry entries without PerGraph) are built once per AlgoSpec
+// and shared across every scenario, seed and repetition that names them, so
+// their memoized plans are paid once per batch.
+func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
+	c := opts.Corpus
+	if c == nil {
+		c = graph.NewCorpus()
+	}
+	b := &Batch{Specs: specs}
+	shared := make(map[AlgoSpec]local.Algorithm)
+	for si, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		base, err := s.Graph.Build(c)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		g, err := s.IDs.Apply(c, base)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		b.Graphs = append(b.Graphs, g)
+
+		build := func(as AlgoSpec) (local.Algorithm, func([]any) error, error) {
+			entry, ok := LookupAlgorithm(as.Name)
+			if !ok {
+				return nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, as.Name)
+			}
+			var check func([]any) error
+			if entry.Check != nil {
+				check = func(outputs []any) error { return entry.Check(g, as, outputs) }
+			}
+			if !entry.PerGraph {
+				if a, ok := shared[as]; ok {
+					b.AlgoShares++
+					return a, check, nil
+				}
+			}
+			a, err := entry.Build(g, as)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenario %s: algorithm %s: %w", s.Name, as.Name, err)
+			}
+			b.AlgoBuilds++
+			if !entry.PerGraph {
+				shared[as] = a
+			}
+			return a, check, nil
+		}
+
+		algo, algoCheck, err := build(s.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		var baseline local.Algorithm
+		var baselineCheck func([]any) error
+		if s.Baseline != nil {
+			baseline, baselineCheck, err = build(*s.Baseline)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		add := func(as AlgoSpec, a local.Algorithm, role string, seed int64, rep int, check func([]any) error) int {
+			idx := len(b.Jobs)
+			b.Jobs = append(b.Jobs, sweep.Job{
+				Label:     fmt.Sprintf("%s/%s/seed=%d/rep=%d", s.Name, as.Name, seed, rep),
+				Graph:     g,
+				Algo:      func() local.Algorithm { return a },
+				Seed:      seed,
+				MaxRounds: s.MaxRounds,
+			})
+			b.Metas = append(b.Metas, JobMeta{
+				Spec: si, Algo: as, Role: role, Seed: seed, Rep: rep, RatioOf: -1, check: check,
+			})
+			return idx
+		}
+
+		for _, sd := range s.seeds() {
+			seed := sd + opts.SeedOffset
+			for rep := 0; rep < s.repeat(); rep++ {
+				bi := -1
+				if baseline != nil {
+					bi = add(*s.Baseline, baseline, "baseline", seed, rep, baselineCheck)
+				}
+				ui := add(s.Algorithm, algo, "uniform", seed, rep, algoCheck)
+				b.Metas[ui].RatioOf = bi
+			}
+		}
+	}
+	return b, nil
+}
+
+// Render writes the corpus results as markdown, one section per scenario, in
+// batch order. Every rendered field is deterministic (rounds, messages,
+// ratios — never wall time), so sequential and parallel sweeps of the same
+// batch produce byte-identical output; CI's scenario gate diffs exactly
+// this. Each job's outputs are re-validated through its registry checker,
+// and a failed check (or failed job) aborts rendering with an error.
+func Render(w io.Writer, b *Batch, results []sweep.Result) error {
+	if len(results) != len(b.Jobs) {
+		return fmt.Errorf("scenario: %d results for %d jobs", len(results), len(b.Jobs))
+	}
+	fmt.Fprintf(w, "## Scenario corpus — %d scenarios, %d jobs\n", len(b.Specs), len(b.Jobs))
+	for si, s := range b.Specs {
+		g := b.Graphs[si]
+		fmt.Fprintf(w, "\n### %s\n\n", s.Name)
+		if s.Description != "" {
+			fmt.Fprintf(w, "%s\n\n", s.Description)
+		}
+		fmt.Fprintf(w, "graph: %s · ids: %s · n=%d · edges=%d · Δ=%d · m=%d\n\n",
+			s.Graph, s.IDs, g.N(), g.NumEdges(), g.MaxDegree(), g.MaxIDValue())
+		fmt.Fprintln(w, "| algorithm | role | seed | rep | rounds | messages | ratio |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+		for ji := range b.Jobs {
+			m := &b.Metas[ji]
+			if m.Spec != si {
+				continue
+			}
+			r := results[ji]
+			if r.Err != nil {
+				return fmt.Errorf("scenario %s: %s: %w", s.Name, b.Jobs[ji].Label, r.Err)
+			}
+			if m.check != nil {
+				if err := m.check(r.Res.Outputs); err != nil {
+					return fmt.Errorf("scenario %s: %s: invalid output: %w", s.Name, b.Jobs[ji].Label, err)
+				}
+			}
+			ratio := "—"
+			if m.RatioOf >= 0 {
+				base := results[m.RatioOf]
+				if base.Err != nil {
+					return fmt.Errorf("scenario %s: baseline: %w", s.Name, base.Err)
+				}
+				ratio = fmt.Sprintf("%.2f", float64(r.Res.Rounds)/float64(base.Res.Rounds))
+			}
+			fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %d | %s |\n",
+				m.Algo, m.Role, m.Seed, m.Rep, r.Res.Rounds, r.Res.Messages, ratio)
+		}
+	}
+	return nil
+}
+
+// Doc assembles the benchfmt document for a completed batch: one record per
+// job in batch order (Experiment = scenario name), plus the sweep throughput
+// block. Unlike Render it does not re-validate outputs; run Render first (or
+// check errors yourself) before trusting the records.
+func Doc(b *Batch, results []sweep.Result, stats sweep.Stats, seed int64, parallel, workers int) (*benchfmt.Doc, error) {
+	records := make([]benchfmt.Record, 0, len(b.Jobs))
+	for ji := range b.Jobs {
+		m := &b.Metas[ji]
+		r := results[ji]
+		if r.Err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", b.Specs[m.Spec].Name, b.Jobs[ji].Label, r.Err)
+		}
+		rec := benchfmt.Record{
+			Experiment: b.Specs[m.Spec].Name,
+			Label:      fmt.Sprintf("%s/seed=%d/rep=%d", m.Role, m.Seed, m.Rep),
+			Algorithm:  m.Algo.String(),
+			N:          b.Graphs[m.Spec].N(),
+			Rounds:     r.Res.Rounds,
+			Messages:   r.Res.Messages,
+			WallNs:     r.Wall.Nanoseconds(),
+			Allocs:     r.Allocs,
+		}
+		if m.RatioOf >= 0 && results[m.RatioOf].Res != nil {
+			rec.Ratio = float64(r.Res.Rounds) / float64(results[m.RatioOf].Res.Rounds)
+		}
+		records = append(records, rec)
+	}
+	return &benchfmt.Doc{
+		SchemaVersion: benchfmt.SchemaVersion,
+		GeneratedBy:   "cmd/localbench -scenarios",
+		Seed:          seed,
+		Parallel:      parallel,
+		Workers:       workers,
+		Sweep: benchfmt.SweepStats{
+			Jobs:         stats.Jobs,
+			Workers:      stats.Workers,
+			WallNs:       stats.Wall.Nanoseconds(),
+			JobsPerSec:   stats.JobsPerSec,
+			EngineAllocs: stats.EngineAllocs,
+		},
+		Results: records,
+	}, nil
+}
