@@ -54,6 +54,7 @@ import (
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
 	"github.com/unilocal/unilocal/internal/scenario"
+	"github.com/unilocal/unilocal/internal/serve"
 	"github.com/unilocal/unilocal/internal/sweep"
 )
 
@@ -242,9 +243,11 @@ func writeMemProfile() error {
 }
 
 // runScenarios executes the declarative corpus under -scenarios: load and
-// validate the directory, optionally filter by -exp, expand through a shared
-// corpus, run the whole batch through the sweep scheduler and render the
-// deterministic markdown tables (plus the JSON document under -json).
+// validate the directory, optionally filter by -exp, then run through
+// serve.Execute — the same request→document path cmd/localserved serves —
+// and print the deterministic markdown (plus the JSON document under
+// -json). Sharing the path is what makes a served response byte-identical
+// to this command's output for the same spec.
 func runScenarios() error {
 	specs, err := scenario.LoadDir(*flagScen)
 	if err != nil {
@@ -262,19 +265,19 @@ func runScenarios() error {
 		}
 		specs = keep
 	}
-	batch, err := scenario.Expand(specs, scenario.ExpandOptions{SeedOffset: *flagSeed - 1})
-	if err != nil {
-		return err
-	}
-	results, stats := sweep.Run(batch.Jobs, sweep.Options{
+	out, err := serve.Execute(specs, serve.ExecOptions{
+		SeedOffset:    *flagSeed - 1,
 		Parallel:      *flagParallel,
 		EngineWorkers: *flagWorkers,
 	})
-	if err := scenario.Render(os.Stdout, batch, results); err != nil {
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(out.Markdown); err != nil {
 		return err
 	}
 	if *flagJSON != "" {
-		doc, err := scenario.Doc(batch, results, stats, *flagSeed, *flagParallel, *flagWorkers)
+		doc, err := scenario.Doc(out.Batch, out.Results, out.Stats, *flagSeed, *flagParallel, *flagWorkers)
 		if err != nil {
 			return err
 		}

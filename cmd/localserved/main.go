@@ -1,0 +1,118 @@
+// Command localserved is the long-lived simulation service over the
+// scenario/sweep stack (see internal/serve and DESIGN.md §2.8): clients POST
+// one declarative scenario spec — the same strict JSON schema as a
+// scenarios/ file — and receive the deterministic benchfmt/markdown
+// document, byte-identical to cmd/localbench -scenarios output for the same
+// spec at any parallelism.
+//
+// Usage:
+//
+//	localserved [-addr host:port] [-parallel N] [-workers N]
+//	            [-corpus-limit N] [-cache N] [-max-inflight N] [-queue N]
+//	            [-timeout D] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /run?seed=N&format=md|json   execute one scenario spec
+//	GET  /healthz                     200 serving / 503 draining
+//	GET  /metrics                     JSON counters (jobs/sec, engine
+//	                                  allocs, corpus + cache stats, gauges)
+//
+// On SIGTERM/SIGINT the server drains gracefully: /healthz flips to 503, new
+// runs are refused, requests already admitted finish (up to -drain-timeout),
+// then the process exits 0. CI's server smoke job exercises exactly this
+// lifecycle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/unilocal/unilocal/internal/serve"
+)
+
+var (
+	flagAddr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+	flagParallel    = flag.Int("parallel", 0, "simulations in flight per request (0 = GOMAXPROCS); responses are byte-identical for any value")
+	flagWorkers     = flag.Int("workers", 0, "engine worker count per simulation (0 = auto)")
+	flagCorpus      = flag.Int("corpus-limit", serve.DefaultCorpusLimit, "max cached graphs, LRU-evicted (<0 = unbounded)")
+	flagCache       = flag.Int("cache", serve.DefaultCacheSize, "max cached responses (<0 = disable)")
+	flagInFlight    = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	flagQueue       = flag.Int("queue", serve.DefaultQueueDepth, "max requests waiting for a slot before 429 (<0 = none)")
+	flagTimeout     = flag.Duration("timeout", 0, "per-request execution deadline (0 = none)")
+	flagDrain       = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flagMaxBodySize = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes")
+	flagMaxNodes    = flag.Int("max-nodes", serve.DefaultMaxNodes, "max estimated graph nodes per request (<0 = unbounded)")
+	flagMaxEdges    = flag.Int("max-edges", serve.DefaultMaxEdges, "max estimated graph edges per request (<0 = unbounded)")
+	flagMaxJobs     = flag.Int("max-jobs", serve.DefaultMaxJobs, "max expanded jobs per request (<0 = unbounded)")
+)
+
+func main() {
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, *flagAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "localserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled, then drains. When ready is non-nil the
+// bound address is sent on it once the listener is up (tests bind port 0).
+func run(ctx context.Context, addr string, ready chan<- string) error {
+	s := serve.New(serve.Config{
+		Parallel:      *flagParallel,
+		EngineWorkers: *flagWorkers,
+		CorpusLimit:   *flagCorpus,
+		CacheSize:     *flagCache,
+		MaxInFlight:   *flagInFlight,
+		QueueDepth:    *flagQueue,
+		Timeout:       *flagTimeout,
+		MaxBodyBytes:  *flagMaxBodySize,
+		MaxNodes:      *flagMaxNodes,
+		MaxEdges:      *flagMaxEdges,
+		MaxJobs:       *flagMaxJobs,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "localserved: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: s}
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		// Drain: stop advertising health, refuse new runs, let admitted
+		// requests finish within the grace period.
+		s.SetDraining(true)
+		fmt.Fprintln(os.Stderr, "localserved: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *flagDrain)
+		defer cancel()
+		shutdownDone <- httpSrv.Shutdown(drainCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() == nil {
+		// Serve returned without a drain being requested.
+		return errors.New("listener closed unexpectedly")
+	}
+	if err := <-shutdownDone; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "localserved: drained")
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+// Smoke test for the localserved binary lifecycle: bind, serve /healthz,
+// execute one request, report metrics, drain cleanly on context
+// cancellation (the SIGTERM path).
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const smokeSpec = `{
+  "name": "smoke-luby",
+  "graph": {"family": "cycle", "n": 64},
+  "algorithm": {"name": "luby-mis"},
+  "seeds": [1]
+}`
+
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, "127.0.0.1:0", ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/run", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run = %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{"### smoke-luby", "| luby-mis | uniform | 1 | 0 |"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("response missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(metrics), "\"responses_ok\": 1") {
+		t.Fatalf("metrics = %d: %s", resp.StatusCode, metrics)
+	}
+
+	// The SIGTERM path: cancel the context and require a clean drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server failed to drain")
+	}
+}

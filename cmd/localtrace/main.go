@@ -6,12 +6,20 @@
 //
 // Usage:
 //
-//	localtrace [-algo lasvegas-mis|uniform-mis|uniform-matching] [-n N] [-deg D] [-seed S]
+//	localtrace [-algo lasvegas-mis|uniform-mis|uniform-matching] [-n N] [-deg D]
+//	           [-seed S] [-max-rounds R]
+//
+// With -max-rounds, the algorithm is truncated at R rounds in the paper's
+// "restricted to i rounds" sense (every live node is forced to terminate
+// with its tentative output); nodes that did not genuinely halt by then are
+// counted explicitly as a never-halted row in the cascade table instead of
+// being silently folded into the surviving column.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,23 +30,70 @@ import (
 )
 
 var (
-	flagAlgo = flag.String("algo", "lasvegas-mis", "algorithm: lasvegas-mis, uniform-mis, uniform-matching")
-	flagN    = flag.Int("n", 2048, "number of nodes")
-	flagDeg  = flag.Float64("deg", 8, "average degree of the G(n,p) instance")
-	flagSeed = flag.Int64("seed", 1, "simulation seed")
+	flagAlgo      = flag.String("algo", "lasvegas-mis", "algorithm: lasvegas-mis, uniform-mis, uniform-matching")
+	flagN         = flag.Int("n", 2048, "number of nodes (>= 1)")
+	flagDeg       = flag.Float64("deg", 8, "average degree of the G(n,p) instance (0 <= deg <= n-1)")
+	flagSeed      = flag.Int64("seed", 1, "simulation seed")
+	flagMaxRounds = flag.Int("max-rounds", 0, "truncate the run at this many rounds (0 = run to termination)")
 )
 
 func main() {
-	if err := run(); err != nil {
+	flag.Parse()
+	cfg := traceConfig{
+		Algo:      *flagAlgo,
+		N:         *flagN,
+		Deg:       *flagDeg,
+		Seed:      *flagSeed,
+		MaxRounds: *flagMaxRounds,
+	}
+	if err := trace(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "localtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	flag.Parse()
+// traceConfig carries the parsed flags, so tests can drive trace directly.
+type traceConfig struct {
+	Algo      string
+	N         int
+	Deg       float64
+	Seed      int64
+	MaxRounds int
+}
+
+// validate rejects parameter combinations before they can turn into a
+// nonsensical G(n,p): n = 1 with a positive degree used to divide by zero
+// and ask GNP for p = +Inf.
+func (c traceConfig) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("-n %d: need at least one node", c.N)
+	}
+	if c.Deg < 0 {
+		return fmt.Errorf("-deg %g: average degree cannot be negative", c.Deg)
+	}
+	if c.Deg > float64(c.N-1) {
+		return fmt.Errorf("-deg %g: a graph on %d nodes supports average degree at most %d", c.Deg, c.N, c.N-1)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("-max-rounds %d: must be >= 0", c.MaxRounds)
+	}
+	return nil
+}
+
+// p is the G(n,p) edge probability realizing the requested average degree.
+func (c traceConfig) p() float64 {
+	if c.N <= 1 {
+		return 0 // validate guarantees Deg == 0 here
+	}
+	return c.Deg / float64(c.N-1)
+}
+
+func trace(cfg traceConfig, w io.Writer) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	var algo local.Algorithm
-	switch *flagAlgo {
+	switch cfg.Algo {
 	case "lasvegas-mis":
 		algo = engines.LasVegasMIS()
 	case "uniform-mis":
@@ -46,21 +101,34 @@ func run() error {
 	case "uniform-matching":
 		algo = engines.UniformMatching()
 	default:
-		return fmt.Errorf("unknown algorithm %q", *flagAlgo)
+		return fmt.Errorf("unknown algorithm %q", cfg.Algo)
 	}
-	g, err := graph.GNP(*flagN, *flagDeg/float64(*flagN-1), *flagSeed)
+	g, err := graph.GNP(cfg.N, cfg.p(), cfg.Seed)
 	if err != nil {
 		return err
 	}
-	res, err := local.Run(g, algo, local.Options{Seed: *flagSeed})
+	// -max-rounds is the paper's "A restricted to i rounds", with forced
+	// halts marked so they can be counted apart from genuine terminations.
+	run := algo
+	if cfg.MaxRounds > 0 {
+		run = local.RestrictRoundsMarked(algo, cfg.MaxRounds)
+	}
+	res, err := local.Run(g, run, local.Options{Seed: cfg.Seed})
 	if err != nil {
-		return err
+		return fmt.Errorf("running %s on G(n=%d, p=%.4g): %w", algo.Name(), cfg.N, cfg.p(), err)
 	}
 
-	// Group terminations by round: each group is one pruning phase W_s of
-	// the alternating schedule (Figure 1 of the paper).
+	// Group genuine terminations by round: each group is one pruning phase
+	// W_s of the alternating schedule (Figure 1 of the paper). Nodes the
+	// -max-rounds truncation force-halted never genuinely terminated; they
+	// are counted apart, not smuggled into a pruning phase.
 	byRound := map[int]int{}
-	for _, h := range res.HaltRounds {
+	neverHalted := 0
+	for u, h := range res.HaltRounds {
+		if _, forced := res.Outputs[u].(local.Truncated); forced {
+			neverHalted++
+			continue
+		}
 		byRound[h]++
 	}
 	rounds := make([]int, 0, len(byRound))
@@ -69,16 +137,20 @@ func run() error {
 	}
 	sort.Ints(rounds)
 
-	fmt.Printf("alternating cascade of %s on G(n=%d, avg deg %.1f), seed %d\n",
-		algo.Name(), *flagN, *flagDeg, *flagSeed)
-	fmt.Printf("total running time: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
-	fmt.Println("iteration | announce round | pruned |V(G_i)| remaining | cascade")
+	fmt.Fprintf(w, "alternating cascade of %s on G(n=%d, avg deg %.1f), seed %d\n",
+		algo.Name(), cfg.N, cfg.Deg, cfg.Seed)
+	fmt.Fprintf(w, "total running time: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+	fmt.Fprintln(w, "iteration | announce round | pruned |V(G_i)| remaining | cascade")
 	surviving := g.N()
 	for i, r := range rounds {
 		pruned := byRound[r]
 		surviving -= pruned
 		bar := strings.Repeat("#", scale(surviving+pruned, g.N(), 60))
-		fmt.Printf("%9d | %14d | %6d | %9d | %s\n", i+1, r, pruned, surviving, bar)
+		fmt.Fprintf(w, "%9d | %14d | %6d | %9d | %s\n", i+1, r, pruned, surviving, bar)
+	}
+	if neverHalted > 0 {
+		fmt.Fprintf(w, "%9s | %14s | %6s | %9d | never halted within %d rounds\n",
+			"—", "—", "—", neverHalted, cfg.MaxRounds)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/unilocal/unilocal/internal/graph"
@@ -58,7 +59,7 @@ func main() {
 	case *flagFamilies:
 		fmt.Print(scenario.FamilyTable())
 	case *flagValidate != "":
-		if !validate(*flagValidate) {
+		if !validate(*flagValidate, os.Stdout, os.Stderr) {
 			os.Exit(1)
 		}
 	default:
@@ -68,22 +69,22 @@ func main() {
 }
 
 // validate reports every problem in the corpus and returns overall success.
-func validate(dir string) bool {
+func validate(dir string, stdout, stderr io.Writer) bool {
 	results, err := scenario.LintDir(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scenarioctl:", err)
+		fmt.Fprintln(stderr, "scenarioctl:", err)
 		return false
 	}
 	ok := true
 	var specs []*scenario.Spec
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "scenarioctl: %v\n", r.Err)
+			fmt.Fprintf(stderr, "scenarioctl: %v\n", r.Err)
 			ok = false
 			continue
 		}
 		specs = append(specs, r.Spec)
-		fmt.Printf("%s: ok (%s)\n", r.Path, r.Spec.Name)
+		fmt.Fprintf(stdout, "%s: ok (%s)\n", r.Path, r.Spec.Name)
 	}
 	if !ok {
 		return false
@@ -93,16 +94,16 @@ func validate(dir string) bool {
 	corpus := graph.NewCorpus()
 	batch, err := scenario.Expand(specs, scenario.ExpandOptions{Corpus: corpus})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scenarioctl:", err)
+		fmt.Fprintln(stderr, "scenarioctl:", err)
 		return false
 	}
 	if *flagJobs {
 		for i, j := range batch.Jobs {
-			fmt.Printf("job %3d: %s (n=%d)\n", i, j.Label, j.Graph.N())
+			fmt.Fprintf(stdout, "job %3d: %s (n=%d)\n", i, j.Label, j.Graph.N())
 		}
 	}
 	hits, misses := corpus.Stats()
-	fmt.Printf("validated %d files, %d scenarios, %d jobs (corpus: %d graphs built, %d reused; algorithms: %d built, %d shared)\n",
+	fmt.Fprintf(stdout, "validated %d files, %d scenarios, %d jobs (corpus: %d graphs built, %d reused; algorithms: %d built, %d shared)\n",
 		len(results), len(specs), len(batch.Jobs), misses, hits, batch.AlgoBuilds, batch.AlgoShares)
 	return true
 }

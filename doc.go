@@ -22,5 +22,9 @@
 // (bench_test.go, cmd/) is the top-level interface for regenerating the
 // paper's evaluation, and the declarative scenario corpus under scenarios/
 // (DESIGN.md §2.7, cmd/localbench -scenarios, cmd/scenarioctl) opens the
-// workload beyond the hard-coded experiment set.
+// workload beyond the hard-coded experiment set. The same scenario stack is
+// served by the long-lived cmd/localserved service (internal/serve,
+// DESIGN.md §2.8): clients POST one spec each and receive the deterministic
+// document, with request cancellation threaded into the engine's round loop
+// and the graph corpus bounded by LRU eviction.
 package unilocal

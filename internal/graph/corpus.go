@@ -1,9 +1,11 @@
 package graph
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Corpus memoizes generated graph families and derived constructions. The
@@ -19,12 +21,41 @@ import (
 // for concurrent use; concurrent requests for a missing entry build it
 // exactly once (other callers block until it is ready without holding the
 // corpus lock).
+//
+// A corpus from NewCorpus is unbounded — correct for one-shot harnesses,
+// fatal for a long-lived server that would otherwise retain every graph
+// family any client ever requested. NewBoundedCorpus caps the entry count
+// with LRU eviction: entries fall out least-recently-used first, and
+// evicting a generated graph also drops the derived constructions keyed by
+// its identity (their canonical source pointer can never be requested
+// again, so they would otherwise be unreachable dead weight). An evicted
+// graph that is requested again is simply rebuilt — generators are
+// deterministic, so the rebuilt instance is structurally identical and
+// results stay byte-for-byte reproducible across evictions.
 type Corpus struct {
 	mu      sync.Mutex
 	gen     map[CorpusKey]*corpusEntry
 	derived map[derivedKey]*corpusEntry
-	hits    uint64
-	misses  uint64
+	// limit caps len(gen)+len(derived); 0 means unbounded. lru orders all
+	// entries most recently used first (values are *corpusEntry).
+	limit     int
+	lru       *list.List
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// CorpusStats is a point-in-time snapshot of a corpus's cache behaviour,
+// exported by long-lived owners (the serving layer's /metrics).
+type CorpusStats struct {
+	// Hits and Misses count lookups served from the cache vs built.
+	Hits, Misses uint64
+	// Evictions counts entries dropped by the LRU bound (including derived
+	// entries cascaded out with their evicted source).
+	Evictions uint64
+	// Entries is the current number of cached graphs; Limit is the bound (0
+	// means unbounded).
+	Entries, Limit int
 }
 
 // CorpusKey identifies a generated graph: the family name, up to two integer
@@ -57,13 +88,35 @@ type corpusEntry struct {
 	err    error
 	edges  []Edge
 	copies []CliqueCopy
+	// built flips to true after once completes; eviction skips entries still
+	// building (their graph pointer is not out yet, and removing them would
+	// duplicate an in-flight build for no memory gain).
+	built atomic.Bool
+	// LRU bookkeeping, guarded by Corpus.mu. key/dkey identify the map slot
+	// to delete on eviction; isDerived selects which map.
+	elem      *list.Element
+	key       CorpusKey
+	dkey      derivedKey
+	isDerived bool
 }
 
-// NewCorpus returns an empty corpus.
+// NewCorpus returns an empty, unbounded corpus.
 func NewCorpus() *Corpus {
+	return NewBoundedCorpus(0)
+}
+
+// NewBoundedCorpus returns an empty corpus holding at most limit graphs
+// (generated plus derived), evicting least-recently-used entries beyond it.
+// limit <= 0 means unbounded.
+func NewBoundedCorpus(limit int) *Corpus {
+	if limit < 0 {
+		limit = 0
+	}
 	return &Corpus{
 		gen:     make(map[CorpusKey]*corpusEntry),
 		derived: make(map[derivedKey]*corpusEntry),
+		limit:   limit,
+		lru:     list.New(),
 	}
 }
 
@@ -75,17 +128,92 @@ func (c *Corpus) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// Metrics returns the full cache counters, including evictions and the
+// current entry count.
+func (c *Corpus) Metrics() CorpusStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CorpusStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.gen) + len(c.derived),
+		Limit:     c.limit,
+	}
+}
+
+// touch moves e to the front of the LRU list, linking it on first use.
+// Caller holds c.mu.
+func (c *Corpus) touch(e *corpusEntry) {
+	if e.elem == nil {
+		e.elem = c.lru.PushFront(e)
+	} else {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// drop removes e from its map and the LRU list and counts the eviction.
+// Caller holds c.mu.
+func (c *Corpus) drop(e *corpusEntry) {
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	if e.isDerived {
+		delete(c.derived, e.dkey)
+	} else {
+		delete(c.gen, e.key)
+	}
+	c.evictions++
+}
+
+// evict enforces the entry bound after an insert, walking from the LRU tail.
+// Entries still building are skipped (their pointer is not public yet), as is
+// keep, the entry just inserted. Evicting a generated graph cascades to the
+// derived entries keyed by its identity: once the canonical source instance
+// leaves the map, those keys can never be requested again. Caller holds c.mu.
+func (c *Corpus) evict(keep *corpusEntry) {
+	if c.limit <= 0 {
+		return
+	}
+	el := c.lru.Back()
+	for len(c.gen)+len(c.derived) > c.limit && el != nil {
+		e := el.Value.(*corpusEntry)
+		if e == keep || !e.built.Load() {
+			el = el.Prev()
+			continue
+		}
+		c.drop(e)
+		if !e.isDerived && e.g != nil {
+			for dk, de := range c.derived {
+				// The cascade honours the same guards as the walk: never the
+				// entry being inserted (it would vanish before ever serving a
+				// hit) and never one still building. A spared derived entry
+				// keeps its dead source key and simply ages out by LRU.
+				if dk.src == e.g && de != keep && de.built.Load() {
+					c.drop(de)
+				}
+			}
+		}
+		// The cascade may have removed the walk cursor's neighbours, so
+		// restart from the back; every restart follows a drop, so the loop
+		// still terminates.
+		el = c.lru.Back()
+	}
+}
+
 // entry returns the memo slot for key, creating it on miss.
 func (c *Corpus) entry(key CorpusKey) *corpusEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.gen[key]
 	if !ok {
-		e = &corpusEntry{}
+		e = &corpusEntry{key: key}
 		c.gen[key] = e
 		c.misses++
+		c.touch(e)
+		c.evict(e)
 	} else {
 		c.hits++
+		c.touch(e)
 	}
 	return e
 }
@@ -96,13 +224,22 @@ func (c *Corpus) derivedEntry(key derivedKey) *corpusEntry {
 	defer c.mu.Unlock()
 	e, ok := c.derived[key]
 	if !ok {
-		e = &corpusEntry{}
+		e = &corpusEntry{dkey: key, isDerived: true}
 		c.derived[key] = e
 		c.misses++
+		c.touch(e)
+		c.evict(e)
 	} else {
 		c.hits++
+		c.touch(e)
 	}
 	return e
+}
+
+// build runs e's once-guarded construction and marks it evictable.
+func (e *corpusEntry) build(fn func()) {
+	e.once.Do(fn)
+	e.built.Store(true)
 }
 
 // Get memoizes an arbitrary generated graph under key, building it with
@@ -111,7 +248,7 @@ func (c *Corpus) derivedEntry(key derivedKey) *corpusEntry {
 // generators.
 func (c *Corpus) Get(key CorpusKey, build func() (*Graph, error)) (*Graph, error) {
 	e := c.entry(key)
-	e.once.Do(func() { e.g, e.err = build() })
+	e.build(func() { e.g, e.err = build() })
 	return e.g, e.err
 }
 
@@ -201,14 +338,14 @@ func (c *Corpus) WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, erro
 // (graph, maxID, seed).
 func (c *Corpus) ShuffledIDsOf(g *Graph, maxID, seed int64) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "shuffled-ids", a: maxID, b: seed})
-	e.once.Do(func() { e.g, e.err = WithShuffledIDs(g, maxID, seed) })
+	e.build(func() { e.g, e.err = WithShuffledIDs(g, maxID, seed) })
 	return e.g, e.err
 }
 
 // ClusteredIDsOf returns the cached WithClusteredIDs perturbation of g.
 func (c *Corpus) ClusteredIDsOf(g *Graph, clusters int, maxID, seed int64) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "clustered-ids", k: clusters, a: maxID, b: seed})
-	e.once.Do(func() { e.g, e.err = WithClusteredIDs(g, clusters, maxID, seed) })
+	e.build(func() { e.g, e.err = WithClusteredIDs(g, clusters, maxID, seed) })
 	return e.g, e.err
 }
 
@@ -216,14 +353,14 @@ func (c *Corpus) ClusteredIDsOf(g *Graph, clusters int, maxID, seed int64) (*Gra
 // list (see LineGraph).
 func (c *Corpus) LineGraphOf(g *Graph) (*Graph, []Edge, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "line"})
-	e.once.Do(func() { e.g, e.edges, e.err = LineGraph(g) })
+	e.build(func() { e.g, e.edges, e.err = LineGraph(g) })
 	return e.g, e.edges, e.err
 }
 
 // PowerOf returns the cached k-th power of g.
 func (c *Corpus) PowerOf(g *Graph, k int) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "power", k: k})
-	e.once.Do(func() { e.g, e.err = Power(g, k) })
+	e.build(func() { e.g, e.err = Power(g, k) })
 	return e.g, e.err
 }
 
@@ -231,7 +368,7 @@ func (c *Corpus) PowerOf(g *Graph, k int) (*Graph, error) {
 // ProductDegPlusOne).
 func (c *Corpus) ProductOf(g *Graph) (*Graph, []CliqueCopy, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "product"})
-	e.once.Do(func() { e.g, e.copies, e.err = ProductDegPlusOne(g) })
+	e.build(func() { e.g, e.copies, e.err = ProductDegPlusOne(g) })
 	return e.g, e.copies, e.err
 }
 

@@ -261,10 +261,29 @@ func (s *sleepNode) Output() any { return nil }
 // tentative output a has produced. A non-positive budget terminates
 // immediately with a nil output.
 func RestrictRounds(a Algorithm, budget int) Algorithm {
+	return restrictRounds(a, budget, false)
+}
+
+// Truncated wraps the tentative output of a node that RestrictRoundsMarked
+// force-halted: the inner algorithm had not terminated when the budget
+// expired. Output is the inner node's tentative output (nil for a
+// non-positive budget, where the inner node never ran a round).
+type Truncated struct{ Output any }
+
+// RestrictRoundsMarked is RestrictRounds with provenance: the outputs of
+// force-halted nodes are wrapped in Truncated, while nodes whose inner
+// algorithm genuinely terminated within the budget keep their plain output.
+// Harnesses like cmd/localtrace use the marker to count never-halting nodes
+// explicitly instead of conflating them with genuine final-round halts.
+func RestrictRoundsMarked(a Algorithm, budget int) Algorithm {
+	return restrictRounds(a, budget, true)
+}
+
+func restrictRounds(a Algorithm, budget int, mark bool) Algorithm {
 	return AlgorithmFunc{
 		AlgoName: a.Name() + "|restricted",
 		NewNode: func(info Info) Node {
-			return &restrictNode{inner: a.New(info), budget: budget}
+			return &restrictNode{inner: a.New(info), budget: budget, mark: mark}
 		},
 	}
 }
@@ -272,12 +291,16 @@ func RestrictRounds(a Algorithm, budget int) Algorithm {
 type restrictNode struct {
 	inner  Node
 	budget int
+	mark   bool
 	done   bool
 	out    any
 }
 
 func (n *restrictNode) Round(r int, recv []Message) ([]Message, bool) {
 	if n.budget <= 0 {
+		if n.mark {
+			n.out = Truncated{}
+		}
 		return nil, true
 	}
 	var send []Message
@@ -292,6 +315,9 @@ func (n *restrictNode) Round(r int, recv []Message) ([]Message, bool) {
 	if n.done || r+1 >= n.budget {
 		if !n.done {
 			n.out = n.inner.Output()
+			if n.mark {
+				n.out = Truncated{Output: n.out}
+			}
 		}
 		return send, true
 	}

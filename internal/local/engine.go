@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,6 +20,12 @@ const DefaultMaxRounds = 1 << 21
 // terminated.
 var ErrMaxRounds = errors.New("local: max rounds exceeded before termination")
 
+// ErrCanceled reports that a simulation was stopped by its context before all
+// nodes terminated. The returned error also wraps the context's own error, so
+// errors.Is works against both ErrCanceled and context.Canceled /
+// context.DeadlineExceeded.
+var ErrCanceled = errors.New("local: run canceled")
+
 // Options configures a simulation run. The zero value selects defaults:
 // seed 0, DefaultMaxRounds, parallel execution across GOMAXPROCS workers.
 type Options struct {
@@ -26,6 +33,12 @@ type Options struct {
 	Seed int64
 	// MaxRounds caps the simulation; 0 means DefaultMaxRounds.
 	MaxRounds int
+	// Context, when non-nil, stops the simulation early: the engine checks it
+	// once per round (between rounds, never mid-round, so a run that is not
+	// stopped stays byte-identical to an uncancelled one) and returns an error
+	// wrapping ErrCanceled and the context's error. nil means run to
+	// completion.
+	Context context.Context
 	// Sequential forces single-threaded execution. Results are identical to
 	// parallel execution; this is exercised by tests and useful for tracing.
 	Sequential bool
@@ -204,7 +217,20 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 		}()
 	}
 
+	ctx := opts.Context
 	for r := 0; r < maxRounds && len(frontier) > 0; r++ {
+		// One cancellation check per round: server timeouts and client
+		// disconnects stop a long simulation at the next round boundary
+		// instead of running it to completion. Checking between rounds keeps
+		// every completed run byte-identical to an uncancelled one.
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w: algorithm %q stopped after %d rounds with %d of %d nodes still running",
+					ErrCanceled, ctx.Err(), a.Name(), r, len(frontier), n)
+			default:
+			}
+		}
 		live := len(frontier)
 		nw := workers
 		if nw > live {

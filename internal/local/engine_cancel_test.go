@@ -1,0 +1,85 @@
+package local_test
+
+// Engine cancellation tests: Options.Context must stop a run at a round
+// boundary with an error wrapping both local.ErrCanceled and the context's
+// own error, and a context that never fires must leave the run byte-identical
+// to an uncancelled one.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+// neverHalt is an algorithm that runs forever: the only way out is MaxRounds
+// or cancellation.
+func neverHalt() local.Algorithm {
+	return local.AlgorithmFunc{
+		AlgoName: "never-halt",
+		NewNode:  func(local.Info) local.Node { return neverNode{} },
+	}
+}
+
+type neverNode struct{}
+
+func (neverNode) Round(int, []local.Message) ([]local.Message, bool) { return nil, false }
+func (neverNode) Output() any                                        { return nil }
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := local.Run(graph.Star(32), waveAlgo(5, 3), local.Options{Seed: 1, Context: ctx})
+	if res != nil {
+		t.Fatalf("canceled run returned a Result: %+v", res)
+	}
+	if !errors.Is(err, local.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want it to wrap context.Canceled", err)
+	}
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	// Without cancellation this run would spin until DefaultMaxRounds.
+	_, err := local.Run(graph.Path(64), neverHalt(), local.Options{Seed: 1, Context: ctx})
+	if !errors.Is(err, local.ErrCanceled) || errors.Is(err, local.ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrCanceled (not ErrMaxRounds)", err)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := local.Run(graph.Path(64), neverHalt(), local.Options{Seed: 1, Context: ctx})
+	if !errors.Is(err, local.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestRunUnfiredContextByteIdentical pins that merely carrying a context does
+// not perturb results: the check sits between rounds and never reorders work.
+func TestRunUnfiredContextByteIdentical(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for _, w := range workerCounts() {
+			plain, err := local.Run(g, waveAlgo(6, 2), local.Options{Seed: 7, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			withCtx, err := local.Run(g, waveAlgo(6, 2), local.Options{Seed: 7, Workers: w, Context: context.Background()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, gname+"/ctx", plain, withCtx)
+		}
+	}
+}

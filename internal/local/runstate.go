@@ -138,8 +138,12 @@ func AcquireRunState(n, edges int) *RunState {
 }
 
 // Release returns the state to the pool it is bucketed in by its current
-// capacity. The caller must not use the state afterwards; Results produced
-// with it remain valid (they never alias pooled memory).
+// capacity — deliberately not the shape it was acquired under: a sweep
+// worker's state grows to the largest job it ever ran, and re-bucketing on
+// every Release keeps the pool's size classes truthful (a class never holds
+// a state smaller than its label implies; the grow-then-release regression
+// tests pin this). The caller must not use the state afterwards; Results
+// produced with it remain valid (they never alias pooled memory).
 func (s *RunState) Release() {
 	// Drop the node state machines and the lane contents so the pool doesn't
 	// pin a dead run's algorithm state or final message values — a released

@@ -1,0 +1,75 @@
+package local
+
+// White-box regression tests for RunState pool bucketing. The invariant
+// under audit: a state whose buffers grew after Acquire must be returned to
+// the pool class matching its *current* capacities, so a future Acquire for
+// the grown shape finds it and a future Acquire for the original shape can
+// never be handed a state the pool believes is bigger than it is.
+
+import (
+	"testing"
+)
+
+// TestRunStateGrowThenReleaseClass pins the pure bucketing math: after a
+// state acquired for a small shape grows on a much larger graph, the class
+// Release computes from its current capacities equals the class
+// AcquireRunState computes for the larger shape — not the class the state
+// was originally acquired under.
+func TestRunStateGrowThenReleaseClass(t *testing.T) {
+	const (
+		smallN, smallEdges = 16, 16
+		bigN, bigEdges     = 4096, 8192
+	)
+	st := &RunState{}
+	st.prepare(smallN, 2*smallEdges, 1)
+	smallClass := stateSizeClass(smallN, 2*smallEdges)
+	if got := stateSizeClass(cap(st.states), cap(st.inbox)); got != smallClass {
+		t.Fatalf("fresh small state buckets to class %d, acquire looks in %d", got, smallClass)
+	}
+
+	st.prepare(bigN, 2*bigEdges, 4) // the growth a sweep worker causes when a bigger job lands on it
+	grownClass := stateSizeClass(cap(st.states), cap(st.inbox))
+	bigAcquire := stateSizeClass(bigN, 2*bigEdges)
+	if grownClass != bigAcquire {
+		t.Fatalf("grown state buckets to class %d, Acquire(%d, %d) looks in %d",
+			grownClass, bigN, bigEdges, bigAcquire)
+	}
+	if grownClass == smallClass {
+		t.Fatal("test shapes collapsed into one size class; pick sizes further apart")
+	}
+}
+
+// TestRunStateGrowThenReleaseRoundtrip drives the real pool: grow a state,
+// Release it, and require that an Acquire for the grown shape gets a state
+// whose buffers already fit (so no pooled state is ever handed out
+// undersized relative to its class, and warm big-shape runs stay
+// zero-alloc). The released state's capacities are checked directly on the
+// reacquired instance.
+func TestRunStateGrowThenReleaseRoundtrip(t *testing.T) {
+	const (
+		smallN, smallEdges = 16, 16
+		bigN, bigEdges     = 4096, 8192
+	)
+	// Drain anything earlier tests parked in the target class so the Get
+	// below observes this test's Release rather than a leftover.
+	class := stateSizeClass(bigN, 2*bigEdges)
+	for runStatePools[class].Get() != nil {
+	}
+
+	st := AcquireRunState(smallN, smallEdges)
+	st.prepare(smallN, 2*smallEdges, 1)
+	st.prepare(bigN, 2*bigEdges, 2)
+	st.Release()
+
+	got := AcquireRunState(bigN, bigEdges)
+	if got != st {
+		// A concurrent GC may have swept the pool; the class math test above
+		// still guards the invariant deterministically.
+		t.Skipf("pool did not return the released state (GC swept it); skipping capacity check")
+	}
+	if cap(got.states) < bigN || cap(got.inbox) < 2*bigEdges || cap(got.next) < 2*bigEdges {
+		t.Fatalf("reacquired state undersized for its class: states %d/%d, lanes %d/%d",
+			cap(got.states), bigN, cap(got.inbox), 2*bigEdges)
+	}
+	got.Release()
+}

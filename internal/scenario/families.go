@@ -337,6 +337,95 @@ var families = map[string]Family{
 	},
 }
 
+// satMulInt multiplies non-negative sizes saturating at math.MaxInt, so a
+// client-supplied dimension pair can never wrap a size estimate negative
+// (which would slip past any "estimate > limit" admission check). Negative
+// inputs — impossible after Validate, but estimators stay total — clamp
+// to 0.
+func satMulInt(a, b int) int {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// satAddInt adds non-negative sizes saturating at math.MaxInt.
+func satAddInt(a, b int) int {
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+// ApproxNodes estimates the node count the (validated) spec will build —
+// an upper bound good enough for admission control in serving contexts,
+// where an arbitrary client must not be able to commission an arbitrarily
+// large graph. Arithmetic saturates at math.MaxInt, so absurd dimensions
+// report absurd (never negative) estimates. Unknown families report their
+// raw n.
+func (gs GraphSpec) ApproxNodes() int {
+	switch gs.Family {
+	case "grid", "torus":
+		return satMulInt(gs.Rows, gs.Cols)
+	case "hypercube":
+		if gs.D < 0 {
+			return 0
+		}
+		if gs.D >= 62 { // Validate caps d at 20; stay total regardless
+			return math.MaxInt
+		}
+		return 1 << gs.D
+	case "caterpillar":
+		return satMulInt(gs.N, satAddInt(gs.K, 1))
+	case "lollipop":
+		return satAddInt(gs.N, gs.K)
+	default:
+		return max(gs.N, 0)
+	}
+}
+
+// ApproxEdges estimates the edge count the (validated) spec will build, for
+// the same admission purpose: families whose edge count is superlinear in n
+// (clique, lollipop, dense gnp/geometric) must be bounded by the memory
+// they actually allocate, not their node count.
+func (gs GraphSpec) ApproxEdges() int {
+	half := func(n int) int { return satMulInt(n, n-1) / 2 }
+	switch gs.Family {
+	case "clique":
+		return half(gs.N)
+	case "lollipop":
+		return satAddInt(half(gs.N), gs.K)
+	case "grid", "torus":
+		return satMulInt(2, satMulInt(gs.Rows, gs.Cols))
+	case "hypercube":
+		return satMulInt(gs.D, gs.ApproxNodes()) / 2
+	case "regular":
+		return satMulInt(gs.N, gs.D) / 2
+	case "gnp":
+		return int(math.Min(gs.P*float64(half(gs.N)), math.MaxInt/2))
+	case "geometric":
+		// Expected pairs within radius r on the unit square: ~ n²·πr²/2.
+		return int(math.Min(math.Pi*gs.Radius*gs.Radius*float64(half(gs.N)), math.MaxInt/2))
+	case "ba", "smallworld", "forest", "caterpillar":
+		k := gs.K
+		if k == 0 {
+			k = 1
+		}
+		return satMulInt(gs.ApproxNodes(), k)
+	default:
+		return gs.ApproxNodes()
+	}
+}
+
 // Families returns the family table sorted by name.
 func Families() []Family {
 	out := make([]Family, 0, len(families))

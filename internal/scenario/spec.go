@@ -256,28 +256,49 @@ func (s *Spec) repeat() int {
 	return s.Repeat
 }
 
-// LoadFile parses and validates one scenario file. Unknown JSON fields are
-// errors: a typoed key in a committed corpus must fail the validator, not
-// silently fall back to a default.
+// ApproxJobs returns the number of sweep jobs the spec expands into (seed
+// grid × repetitions × algorithms, the baseline counted), saturating at
+// math.MaxInt so serving-layer admission checks can bound it without
+// overflow. It lives beside the expansion it models: if Expand's job shape
+// changes, this estimate must change with it.
+func (s *Spec) ApproxJobs() int {
+	return satMulInt(satMulInt(len(s.seeds()), s.repeat()), len(s.algoSpecs()))
+}
+
+// Parse decodes and validates one scenario spec from raw JSON. Unknown
+// fields and trailing data are errors: a typoed key in a committed corpus —
+// or in a client request to the serving layer, which parses request bodies
+// through exactly this path — must fail loudly, not silently fall back to a
+// default.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile parses and validates one scenario file via Parse, prefixing
+// problems with the path.
 func LoadFile(path string) (*Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	var s Spec
-	if err := dec.Decode(&s); err != nil {
+	s, err := Parse(data)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	var trailing json.RawMessage
-	if err := dec.Decode(&trailing); err != io.EOF {
-		return nil, fmt.Errorf("%s: trailing data after scenario object", path)
-	}
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &s, nil
+	return s, nil
 }
 
 // Files lists the scenario files of dir (*.json, sorted by name).

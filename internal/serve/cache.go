@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is the keyed response cache: served bodies are deterministic
+// functions of (spec, seed, format), so a repeated request can be answered
+// from memory without touching the scheduler. Bounded LRU, safe for
+// concurrent use. Identical concurrent first requests may both execute and
+// both store — the stored bytes are identical by the determinism contract,
+// so last-write-wins is harmless.
+type respCache struct {
+	mu      sync.Mutex
+	limit   int
+	order   *list.List // front = most recently used; values are *cacheItem
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheItem struct {
+	key         string
+	body        []byte
+	contentType string
+}
+
+// newRespCache returns a cache bounded to limit entries; limit <= 0 disables
+// caching entirely (every get misses, puts are dropped).
+func newRespCache(limit int) *respCache {
+	return &respCache{
+		limit:   limit,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *respCache) get(key string) (body []byte, contentType string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	it := el.Value.(*cacheItem)
+	return it.body, it.contentType, true
+}
+
+func (c *respCache) put(key string, body []byte, contentType string) {
+	if c.limit <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[key]; found {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheItem).body = body
+		el.Value.(*cacheItem).contentType = contentType
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, body: body, contentType: contentType})
+	for c.order.Len() > c.limit {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).key)
+	}
+}
+
+func (c *respCache) stats() (hits, misses uint64, entries, limit int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.limit
+}

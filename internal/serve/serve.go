@@ -1,0 +1,569 @@
+// Package serve is the long-lived serving layer over the scenario/sweep
+// stack: a request names one scenario — graph family, identity regime,
+// algorithm from the registry — and the server expands it, executes it on
+// the pooled sweep scheduler and returns the deterministic document, exactly
+// the contract of cmd/localbench -scenarios. This is the paper's workload
+// shape as a service: many independent clients, each describing only its own
+// instance, none relying on shared global knowledge (PAPER.md; DESIGN.md
+// §2.8).
+//
+// Everything a one-shot CLI tolerates and a long-lived process cannot is
+// handled here: the graph corpus is bounded (LRU eviction, so the server
+// does not retain every family ever requested), request contexts thread all
+// the way into the engine's round loop (a client disconnect or server
+// timeout stops a batch instead of running it to completion), admission is
+// bounded with 429 overflow, repeated requests hit a keyed response cache,
+// and /healthz + /metrics expose the state an operator needs to drain or
+// debug the process.
+//
+// Determinism contract: response bodies are pure functions of (spec, seed,
+// format) — markdown contains only deterministic fields, and the JSON
+// document is scrubbed of wall-clock and allocation noise — so they are
+// byte-identical for any Parallel/EngineWorkers configuration, across
+// restarts, and before/after cache eviction. CI's server smoke job diffs a
+// served response against localbench output for the same spec.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/unilocal/unilocal/internal/benchfmt"
+	"github.com/unilocal/unilocal/internal/graph"
+	"github.com/unilocal/unilocal/internal/local"
+	"github.com/unilocal/unilocal/internal/scenario"
+	"github.com/unilocal/unilocal/internal/sweep"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCorpusLimit  = 256
+	DefaultCacheSize    = 64
+	DefaultQueueDepth   = 64
+	DefaultMaxBodyBytes = 1 << 20
+	DefaultMaxNodes     = 1 << 20
+	DefaultMaxEdges     = 1 << 23
+	DefaultMaxJobs      = 4096
+)
+
+// statusClientClosedRequest reports a request whose client disconnected
+// mid-execution (nginx's non-standard 499; the write usually goes nowhere,
+// but the code keeps logs and metrics honest).
+const statusClientClosedRequest = 499
+
+// ErrSpec wraps every request problem that is the client's fault — a spec
+// that fails validation or expansion — so the handler can map it to 400
+// without string-matching.
+var ErrSpec = errors.New("serve: invalid scenario request")
+
+// Config configures a Server. The zero value selects defaults.
+type Config struct {
+	// Parallel is the sweep parallelism per request; 0 means GOMAXPROCS.
+	Parallel int
+	// EngineWorkers pins the per-simulation engine worker count; 0 = auto.
+	EngineWorkers int
+	// CorpusLimit bounds the shared graph corpus (entries, LRU-evicted);
+	// 0 means DefaultCorpusLimit, negative means unbounded.
+	CorpusLimit int
+	// CacheSize bounds the keyed response cache; 0 means DefaultCacheSize,
+	// negative disables caching.
+	CacheSize int
+	// MaxInFlight caps concurrently executing requests; 0 means GOMAXPROCS.
+	MaxInFlight int
+	// QueueDepth caps requests waiting for an execution slot; beyond it the
+	// server answers 429. 0 means DefaultQueueDepth, negative means no queue
+	// (reject as soon as all slots are busy).
+	QueueDepth int
+	// Timeout caps one request's execution; 0 means no server-side deadline
+	// (the client's disconnect still cancels).
+	Timeout time.Duration
+	// MaxBodyBytes caps the request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxNodes / MaxEdges / MaxJobs bound the work a single request may
+	// commission (graph size estimated by the family table, job count =
+	// seeds × repeats × algorithms); beyond them the request is refused
+	// with 400 before expansion ever builds anything. Graph construction
+	// itself is not cancellable, so these bounds — not the request context
+	// — are what keeps one client from pinning an execution slot with
+	// arbitrarily large work. 0 means the defaults, negative unbounded.
+	MaxNodes int
+	MaxEdges int
+	MaxJobs  int
+}
+
+// Server is the HTTP serving layer. Create with New; it implements
+// http.Handler (POST /run, GET /healthz, GET /metrics).
+type Server struct {
+	cfg    Config
+	corpus *graph.Corpus
+	cache  *respCache
+	mux    *http.ServeMux
+	sem    chan struct{}
+	start  time.Time
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+	queued   atomic.Int64
+
+	requests     atomic.Uint64
+	ok           atomic.Uint64
+	cached       atomic.Uint64
+	rejected     atomic.Uint64
+	badRequests  atomic.Uint64
+	canceled     atomic.Uint64
+	failed       atomic.Uint64
+	jobs         atomic.Uint64
+	sweepWallNs  atomic.Uint64
+	engineAllocs atomic.Uint64
+}
+
+// New returns a ready Server. The graph corpus and response cache live for
+// the Server's lifetime and are shared across all requests.
+func New(cfg Config) *Server {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CorpusLimit == 0 {
+		cfg.CorpusLimit = DefaultCorpusLimit
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = DefaultMaxNodes
+	}
+	if cfg.MaxEdges == 0 {
+		cfg.MaxEdges = DefaultMaxEdges
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	corpusLimit := cfg.CorpusLimit
+	if corpusLimit < 0 {
+		corpusLimit = 0 // unbounded
+	}
+	s := &Server{
+		cfg:    cfg,
+		corpus: graph.NewBoundedCorpus(corpusLimit),
+		cache:  newRespCache(cfg.CacheSize),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		start:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the drain flag: /healthz answers 503 (so load balancers
+// stop routing here) and new /run requests are refused, while requests
+// already admitted run to completion under http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ExecOptions configures one spec-set execution (the request → document path
+// shared by the server and cmd/localbench -scenarios).
+type ExecOptions struct {
+	// Corpus memoizes graphs across calls; nil uses a private one.
+	Corpus *graph.Corpus
+	// SeedOffset shifts every spec seed (CLI -seed N maps to N-1).
+	SeedOffset int64
+	// Parallel / EngineWorkers configure the sweep (see sweep.Options).
+	Parallel      int
+	EngineWorkers int
+	// Context cancels the batch mid-run; nil runs to completion.
+	Context context.Context
+}
+
+// Outcome is a completed execution: the expanded batch, its results and
+// stats, and the rendered deterministic markdown document.
+type Outcome struct {
+	Batch    *scenario.Batch
+	Results  []sweep.Result
+	Stats    sweep.Stats
+	Markdown []byte
+}
+
+// Execute expands the specs, runs the batch and renders the markdown
+// document. Expansion problems (the client's spec) are wrapped in ErrSpec;
+// execution problems — including cancellation, which satisfies
+// errors.Is(err, sweep.ErrCanceled) — are returned as-is.
+func Execute(specs []*scenario.Spec, opts ExecOptions) (*Outcome, error) {
+	// Expansion (graph generation included) is not cancellable; refuse work
+	// for a context that is already dead rather than building for a caller
+	// that is gone. Callers bound expansion size up front (see
+	// Config.MaxNodes) — mid-expansion the context is not consulted.
+	if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %w: batch not started", sweep.ErrCanceled, ctx.Err())
+	}
+	batch, err := scenario.Expand(specs, scenario.ExpandOptions{
+		Corpus:     opts.Corpus,
+		SeedOffset: opts.SeedOffset,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrSpec, err)
+	}
+	results, stats := sweep.Run(batch.Jobs, sweep.Options{
+		Parallel:      opts.Parallel,
+		EngineWorkers: opts.EngineWorkers,
+		Context:       opts.Context,
+	})
+	var buf bytes.Buffer
+	if err := scenario.Render(&buf, batch, results); err != nil {
+		return nil, err
+	}
+	return &Outcome{Batch: batch, Results: results, Stats: stats, Markdown: buf.Bytes()}, nil
+}
+
+// DeterministicDoc builds the benchfmt document for a served response with
+// every non-deterministic field scrubbed: wall times, allocation counters
+// and the server's own parallelism are zeroed, so the JSON body — like the
+// markdown one — is a pure function of (spec, seed) and safe to cache and
+// diff across worker counts. CLI consumers that want timing keep using
+// localbench -json.
+func DeterministicDoc(out *Outcome, seed int64) (*benchfmt.Doc, error) {
+	doc, err := scenario.Doc(out.Batch, out.Results, out.Stats, seed, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc.GeneratedBy = "cmd/localserved"
+	doc.Sweep = benchfmt.SweepStats{Jobs: out.Stats.Jobs}
+	for i := range doc.Results {
+		doc.Results[i].WallNs = 0
+		doc.Results[i].Allocs = 0
+	}
+	return doc, nil
+}
+
+// admit acquires an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success, or the HTTP status
+// to answer with (429 on queue overflow, 499 when the client gave up while
+// queued).
+func (s *Server) admit(ctx context.Context) (func(), int) {
+	admitted := false
+	select {
+	case s.sem <- struct{}{}:
+		admitted = true
+	default:
+	}
+	if !admitted {
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			return nil, http.StatusTooManyRequests
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, statusClientClosedRequest
+		}
+	}
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}, 0
+}
+
+// handleRun is POST /run: body is one scenario.Spec (same strict JSON schema
+// as a scenarios/ file), query parameters seed (default 1, shifts the spec's
+// seed grid exactly like localbench -seed) and format (md | json).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	seed := int64(1)
+	if v := r.URL.Query().Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		seed = n
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "md"
+	}
+	if format != "md" && format != "json" {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad format %q (md or json)", format)
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge, "body over %d bytes", s.cfg.MaxBodyBytes)
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad scenario: %v", err)
+		return
+	}
+	if err := s.checkLimits(spec); err != nil {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The cache key is the canonical (re-marshalled) spec, not the raw body:
+	// two clients formatting the same scenario differently share one entry.
+	canonical, err := json.Marshal(spec)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "canonicalizing spec: %v", err)
+		return
+	}
+	baseKey := strconv.FormatInt(seed, 10) + "\x00" + string(canonical)
+	key := format + "\x00" + baseKey
+	if body, ct, ok := s.cache.get(key); ok {
+		s.cached.Add(1)
+		s.ok.Add(1)
+		writeResponse(w, ct, "hit", body)
+		return
+	}
+
+	release, status := s.admit(r.Context())
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			s.rejected.Add(1)
+		} else {
+			s.canceled.Add(1)
+		}
+		httpError(w, status, "not admitted")
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	out, err := Execute([]*scenario.Spec{spec}, ExecOptions{
+		Corpus:        s.corpus,
+		SeedOffset:    seed - 1,
+		Parallel:      s.cfg.Parallel,
+		EngineWorkers: s.cfg.EngineWorkers,
+		Context:       ctx,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSpec):
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "bad scenario: %v", err)
+		case errors.Is(err, local.ErrMaxRounds):
+			// The client's max_rounds (or the engine cap) expired before the
+			// algorithm terminated: deterministic, client-induced, not a
+			// server fault — do not page the operator for it.
+			s.badRequests.Add(1)
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		case errors.Is(err, sweep.ErrCanceled):
+			s.canceled.Add(1)
+			if errors.Is(err, context.DeadlineExceeded) {
+				httpError(w, http.StatusGatewayTimeout, "canceled: %v", err)
+			} else {
+				httpError(w, statusClientClosedRequest, "canceled: %v", err)
+			}
+		default:
+			s.failed.Add(1)
+			httpError(w, http.StatusInternalServerError, "run failed: %v", err)
+		}
+		return
+	}
+	s.jobs.Add(uint64(out.Stats.Jobs))
+	s.sweepWallNs.Add(uint64(out.Stats.Wall.Nanoseconds()))
+	s.engineAllocs.Add(out.Stats.EngineAllocs)
+
+	// One execution serves both formats: the JSON document derives from the
+	// same Outcome the markdown does, so when the cache is on, fill both
+	// format entries now instead of re-running the whole batch when the
+	// other format is requested later. With the cache disabled, only the
+	// requested format is rendered.
+	mdBody := out.Markdown
+	const mdCT = "text/markdown; charset=utf-8"
+	const jsonCT = "application/json"
+	cacheOn := s.cfg.CacheSize > 0
+	var jsonBody []byte
+	if format == "json" || cacheOn {
+		doc, err := DeterministicDoc(out, seed)
+		if err != nil {
+			s.failed.Add(1)
+			httpError(w, http.StatusInternalServerError, "building document: %v", err)
+			return
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			s.failed.Add(1)
+			httpError(w, http.StatusInternalServerError, "encoding document: %v", err)
+			return
+		}
+		jsonBody = append(data, '\n')
+	}
+	if cacheOn {
+		s.cache.put("md\x00"+baseKey, mdBody, mdCT)
+		s.cache.put("json\x00"+baseKey, jsonBody, jsonCT)
+	}
+	s.ok.Add(1)
+	if format == "md" {
+		writeResponse(w, mdCT, "miss", mdBody)
+	} else {
+		writeResponse(w, jsonCT, "miss", jsonBody)
+	}
+}
+
+// checkLimits refuses a spec that would commission more work than the
+// server is configured to accept from one request: estimated graph size
+// (via the family table) and expanded job count. Bounding here — before any
+// expansion — is what keeps graph generation, which cannot be canceled
+// mid-build, from pinning an execution slot indefinitely.
+func (s *Server) checkLimits(spec *scenario.Spec) error {
+	if n := spec.Graph.ApproxNodes(); s.cfg.MaxNodes > 0 && n > s.cfg.MaxNodes {
+		return fmt.Errorf("graph %s: ~%d nodes exceeds the server's per-request limit of %d", spec.Graph, n, s.cfg.MaxNodes)
+	}
+	if e := spec.Graph.ApproxEdges(); s.cfg.MaxEdges > 0 && e > s.cfg.MaxEdges {
+		return fmt.Errorf("graph %s: ~%d edges exceeds the server's per-request limit of %d", spec.Graph, e, s.cfg.MaxEdges)
+	}
+	if jobs := spec.ApproxJobs(); s.cfg.MaxJobs > 0 && jobs > s.cfg.MaxJobs {
+		return fmt.Errorf("spec expands to %d jobs, over the server's per-request limit of %d", jobs, s.cfg.MaxJobs)
+	}
+	return nil
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "{\"status\":\"draining\"}\n")
+		return
+	}
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// Metrics is the JSON body of GET /metrics.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+
+	RequestsTotal   uint64 `json:"requests_total"`
+	ResponsesOK     uint64 `json:"responses_ok"`
+	ResponsesCached uint64 `json:"responses_cached"`
+	Rejected        uint64 `json:"rejected"`
+	BadRequests     uint64 `json:"bad_requests"`
+	Canceled        uint64 `json:"canceled"`
+	Failed          uint64 `json:"failed"`
+
+	// Jobs / JobsPerSec / EngineAllocs aggregate the sweep batches executed
+	// since start; JobsPerSec is jobs over cumulative batch wall time (the
+	// scheduler's throughput, not the server's request rate).
+	Jobs         uint64  `json:"jobs"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	EngineAllocs uint64  `json:"engine_allocs"`
+
+	Corpus struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+		Limit     int    `json:"limit"`
+	} `json:"corpus"`
+	Cache struct {
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Entries int    `json:"entries"`
+		Limit   int    `json:"limit"`
+	} `json:"cache"`
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	m.UptimeSeconds = time.Since(s.start).Seconds()
+	m.Draining = s.draining.Load()
+	m.InFlight = s.inFlight.Load()
+	m.Queued = s.queued.Load()
+	m.RequestsTotal = s.requests.Load()
+	m.ResponsesOK = s.ok.Load()
+	m.ResponsesCached = s.cached.Load()
+	m.Rejected = s.rejected.Load()
+	m.BadRequests = s.badRequests.Load()
+	m.Canceled = s.canceled.Load()
+	m.Failed = s.failed.Load()
+	m.Jobs = s.jobs.Load()
+	m.EngineAllocs = s.engineAllocs.Load()
+	if wall := s.sweepWallNs.Load(); wall > 0 {
+		m.JobsPerSec = float64(m.Jobs) / (float64(wall) / 1e9)
+	}
+	cs := s.corpus.Metrics()
+	m.Corpus.Hits, m.Corpus.Misses, m.Corpus.Evictions = cs.Hits, cs.Misses, cs.Evictions
+	m.Corpus.Entries, m.Corpus.Limit = cs.Entries, cs.Limit
+	ch, cm, ce, cl := s.cache.stats()
+	m.Cache.Hits, m.Cache.Misses, m.Cache.Entries, m.Cache.Limit = ch, cm, ce, cl
+	return m
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func writeResponse(w http.ResponseWriter, contentType, cache string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Localserved-Cache", cache)
+	w.Write(body)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf("localserved: "+format, args...), status)
+}

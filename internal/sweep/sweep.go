@@ -25,6 +25,8 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,6 +35,13 @@ import (
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 )
+
+// ErrCanceled marks every result slot a canceled batch did not complete. It
+// aliases local.ErrCanceled so one errors.Is check covers both a job the
+// engine stopped mid-run and a job the scheduler never started; the slot
+// errors additionally wrap the context's own error (context.Canceled or
+// context.DeadlineExceeded).
+var ErrCanceled = local.ErrCanceled
 
 // Job specifies one independent simulation.
 type Job struct {
@@ -96,11 +105,22 @@ type Options struct {
 	// round-level parallelism without oversubscribing), GOMAXPROCS engines
 	// when Parallel == 1.
 	EngineWorkers int
+	// Context, when non-nil, cancels the batch: no new job starts after it
+	// fires, jobs already running stop at their next round boundary (the
+	// engine checks it between rounds), and every slot that did not run to
+	// completion carries an error wrapping ErrCanceled — never a zero
+	// Result indistinguishable from a successful run. Results of jobs that
+	// completed before the cancellation are kept, so callers see exactly
+	// which prefix of work is trustworthy. nil means run the batch to
+	// completion.
+	Context context.Context
 }
 
 // Run executes the jobs and returns their results in job order plus the
 // batch statistics. Deterministic fields of the results are identical for
-// every Parallel and EngineWorkers setting.
+// every Parallel and EngineWorkers setting. When Options.Context fires
+// mid-batch the returned slice is partially filled: completed jobs keep
+// their results, every other slot errors with ErrCanceled.
 func Run(jobs []Job, opts Options) ([]Result, Stats) {
 	parallel := opts.Parallel
 	if parallel <= 0 {
@@ -112,10 +132,11 @@ func Run(jobs []Job, opts Options) ([]Result, Stats) {
 	if parallel < 1 {
 		parallel = 1
 	}
-	engineOpts := local.Options{Workers: opts.EngineWorkers}
+	engineOpts := local.Options{Workers: opts.EngineWorkers, Context: opts.Context}
 	if opts.EngineWorkers == 0 && parallel > 1 {
 		engineOpts.Sequential = true
 	}
+	ctx := opts.Context
 
 	results := make([]Result, len(jobs))
 	start := time.Now()
@@ -130,6 +151,11 @@ func Run(jobs []Job, opts Options) ([]Result, Stats) {
 			}
 		}()
 		for {
+			// A fired context stops the claim loop; unclaimed slots are
+			// stamped with the cancellation sentinel after the workers drain.
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			i := int(cursor.Add(1)) - 1
 			if i >= len(jobs) {
 				return
@@ -167,6 +193,19 @@ func Run(jobs []Job, opts Options) ([]Result, Stats) {
 		wg.Wait()
 	}
 
+	if ctx != nil && ctx.Err() != nil {
+		// Every slot the batch did not finish must be distinguishable from a
+		// success: a claimed-and-interrupted job already carries the engine's
+		// ErrCanceled, an unclaimed one gets the scheduler's sentinel here.
+		// (All workers have returned, so the remaining zero slots are exactly
+		// the jobs that never started.)
+		for i := range results {
+			if results[i].Res == nil && results[i].Err == nil {
+				results[i].Err = fmt.Errorf("%w: %w: job %q never started", ErrCanceled, ctx.Err(), jobs[i].Label)
+			}
+		}
+	}
+
 	stats := Stats{Jobs: len(jobs), Workers: parallel, Wall: time.Since(start)}
 	for i := range results {
 		stats.EngineAllocs += results[i].Allocs
@@ -178,7 +217,10 @@ func Run(jobs []Job, opts Options) ([]Result, Stats) {
 }
 
 // FirstErr returns the first job error in job order (a convenience for
-// harnesses that abort a sweep on any failure), or nil.
+// harnesses that abort a sweep on any failure), or nil. In a canceled batch
+// this is the first slot the batch did not complete, which — because slots
+// are stamped, never left zero — satisfies errors.Is(err, ErrCanceled)
+// unless an earlier job failed for a real reason first.
 func FirstErr(results []Result) error {
 	for i := range results {
 		if results[i].Err != nil {
