@@ -49,6 +49,7 @@ import (
 
 	"github.com/unilocal/unilocal/internal/algorithms/luby"
 	"github.com/unilocal/unilocal/internal/benchfmt"
+	"github.com/unilocal/unilocal/internal/cliutil"
 	"github.com/unilocal/unilocal/internal/engines"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
@@ -249,6 +250,9 @@ func writeMemProfile() error {
 // -json). Sharing the path is what makes a served response byte-identical
 // to this command's output for the same spec.
 func runScenarios() error {
+	if err := cliutil.Dir("-scenarios", *flagScen); err != nil {
+		return err
+	}
 	specs, err := scenario.LoadDir(*flagScen)
 	if err != nil {
 		return err

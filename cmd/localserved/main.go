@@ -9,7 +9,7 @@
 //
 //	localserved [-addr host:port] [-parallel N] [-workers N]
 //	            [-corpus-limit N] [-cache N] [-max-inflight N] [-queue N]
-//	            [-timeout D] [-drain-timeout D]
+//	            [-timeout D] [-drain-timeout D] [-fault exit-after=N]
 //
 // Endpoints:
 //
@@ -22,6 +22,12 @@
 // runs are refused, requests already admitted finish (up to -drain-timeout),
 // then the process exits 0. CI's server smoke job exercises exactly this
 // lifecycle.
+//
+// -fault exit-after=N is the chaos-testing escape hatch: the process dies
+// (exit 3, no response) the moment the Nth /run request arrives, simulating
+// a replica crash mid-sweep at a deterministic point. CI's fabric-chaos job
+// runs one replica with it and requires the fabric coordinator to reproduce
+// the single-process document anyway.
 package main
 
 import (
@@ -33,9 +39,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/unilocal/unilocal/internal/cliutil"
 	"github.com/unilocal/unilocal/internal/serve"
 )
 
@@ -53,6 +63,7 @@ var (
 	flagMaxNodes    = flag.Int("max-nodes", serve.DefaultMaxNodes, "max estimated graph nodes per request (<0 = unbounded)")
 	flagMaxEdges    = flag.Int("max-edges", serve.DefaultMaxEdges, "max estimated graph edges per request (<0 = unbounded)")
 	flagMaxJobs     = flag.Int("max-jobs", serve.DefaultMaxJobs, "max expanded jobs per request (<0 = unbounded)")
+	flagFault       = flag.String("fault", "", "chaos-test fault mode: exit-after=N crashes the process (exit 3) on the Nth /run request, before responding")
 )
 
 func main() {
@@ -81,6 +92,10 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 		MaxEdges:      *flagMaxEdges,
 		MaxJobs:       *flagMaxJobs,
 	})
+	handler, err := faultWrap(*flagFault, s)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -90,7 +105,7 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: s}
+	httpSrv := &http.Server{Handler: handler}
 	shutdownDone := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -115,4 +130,42 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 	}
 	fmt.Fprintln(os.Stderr, "localserved: drained")
 	return nil
+}
+
+// crash is how a tripped -fault terminates the process; a variable so tests
+// can observe the trip without dying.
+var crash = func(reason string) {
+	fmt.Fprintf(os.Stderr, "localserved: fault injected: %s\n", reason)
+	os.Exit(3)
+}
+
+// faultWrap applies the -fault chaos mode to the server handler. The only
+// mode, exit-after=N, kills the process the moment the Nth /run request
+// arrives — before any response bytes — so the client sees the connection
+// die mid-request, exactly what a crashed replica looks like to the fabric
+// coordinator. CI's fabric-chaos job uses it to kill a replica mid-sweep at
+// a deterministic point instead of racing a signal against the sweep.
+func faultWrap(mode string, inner http.Handler) (http.Handler, error) {
+	if mode == "" {
+		return inner, nil
+	}
+	val, ok := strings.CutPrefix(mode, "exit-after=")
+	if !ok {
+		return nil, fmt.Errorf("-fault %q: unknown mode (want exit-after=N)", mode)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return nil, fmt.Errorf("-fault %q: %w", mode, err)
+	}
+	if err := cliutil.Positive("-fault exit-after", n); err != nil {
+		return nil, err
+	}
+	var runs atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" && runs.Add(1) == int64(n) {
+			crash(fmt.Sprintf("exit-after=%d tripped", n))
+			return // only reached when tests stub out crash
+		}
+		inner.ServeHTTP(w, r)
+	}), nil
 }

@@ -8,6 +8,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -82,5 +83,58 @@ func TestServerLifecycle(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server failed to drain")
+	}
+}
+
+func TestFaultWrapParsing(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if h, err := faultWrap("", inner); err != nil || h == nil {
+		t.Fatalf("empty mode: %v", err)
+	}
+	for _, bad := range []string{"exit-after=0", "exit-after=-1", "exit-after=x", "kill-after=3", "exit-after="} {
+		if _, err := faultWrap(bad, inner); err == nil {
+			t.Fatalf("-fault %q accepted", bad)
+		}
+	}
+}
+
+// TestFaultWrapTripsOnNthRun stubs the crash hook and checks the trigger
+// fires exactly on the Nth /run request, passes other paths through, and
+// sends no response bytes on the tripped request (the client must see a
+// dead connection, not a clean error).
+func TestFaultWrapTripsOnNthRun(t *testing.T) {
+	tripped := 0
+	orig := crash
+	crash = func(string) { tripped++ }
+	defer func() { crash = orig }()
+
+	var handled int
+	h, err := faultWrap("exit-after=2", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handled++
+		w.WriteHeader(http.StatusOK)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, nil))
+		return rec
+	}
+	get("/healthz") // non-/run traffic never counts
+	get("/run")
+	if tripped != 0 {
+		t.Fatalf("tripped after first /run")
+	}
+	rec := get("/run")
+	if tripped != 1 {
+		t.Fatalf("second /run should trip: tripped=%d", tripped)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("tripped request wrote a body: %q", rec.Body)
+	}
+	get("/run")
+	if tripped != 1 || handled != 3 {
+		t.Fatalf("trigger should fire exactly once (tripped=%d handled=%d)", tripped, handled)
 	}
 }

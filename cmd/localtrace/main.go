@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/unilocal/unilocal/internal/cliutil"
 	"github.com/unilocal/unilocal/internal/engines"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
@@ -63,29 +64,21 @@ type traceConfig struct {
 
 // validate rejects parameter combinations before they can turn into a
 // nonsensical G(n,p): n = 1 with a positive degree used to divide by zero
-// and ask GNP for p = +Inf.
+// and ask GNP for p = +Inf. The checks live in internal/cliutil, shared
+// with the other commands that take n/degree/bound flags.
 func (c traceConfig) validate() error {
-	if c.N < 1 {
-		return fmt.Errorf("-n %d: need at least one node", c.N)
+	if err := cliutil.Nodes("-n", c.N); err != nil {
+		return err
 	}
-	if c.Deg < 0 {
-		return fmt.Errorf("-deg %g: average degree cannot be negative", c.Deg)
+	if err := cliutil.AvgDegree("-deg", c.N, c.Deg); err != nil {
+		return err
 	}
-	if c.Deg > float64(c.N-1) {
-		return fmt.Errorf("-deg %g: a graph on %d nodes supports average degree at most %d", c.Deg, c.N, c.N-1)
-	}
-	if c.MaxRounds < 0 {
-		return fmt.Errorf("-max-rounds %d: must be >= 0", c.MaxRounds)
-	}
-	return nil
+	return cliutil.NonNegative("-max-rounds", c.MaxRounds)
 }
 
 // p is the G(n,p) edge probability realizing the requested average degree.
 func (c traceConfig) p() float64 {
-	if c.N <= 1 {
-		return 0 // validate guarantees Deg == 0 here
-	}
-	return c.Deg / float64(c.N-1)
+	return cliutil.GNPProb(c.N, c.Deg) // validate guarantees Deg == 0 when N <= 1
 }
 
 func trace(cfg traceConfig, w io.Writer) error {

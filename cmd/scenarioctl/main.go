@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/unilocal/unilocal/internal/cliutil"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/scenario"
 )
@@ -70,6 +71,10 @@ func main() {
 
 // validate reports every problem in the corpus and returns overall success.
 func validate(dir string, stdout, stderr io.Writer) bool {
+	if err := cliutil.Dir("-validate", dir); err != nil {
+		fmt.Fprintln(stderr, "scenarioctl:", err)
+		return false
+	}
 	results, err := scenario.LintDir(dir)
 	if err != nil {
 		fmt.Fprintln(stderr, "scenarioctl:", err)

@@ -1,0 +1,229 @@
+// Package faultinject wraps an http.RoundTripper with a deterministic
+// fault schedule: dropped connections, added latency, synthesized error
+// statuses, corrupted bodies and truncated bodies, each fired by a seeded
+// per-rule decision. The same (seed, rules, request sequence) produces the
+// same faults, which is what lets the fabric chaos tests assert exact
+// coordinator behaviour — byte-identical merged output, bounded retries —
+// under a hostile transport instead of a merely flaky one.
+//
+// Faults are injected at the transport layer, beneath the coordinator's
+// retry/breaker machinery and above the replica, so every failure mode a
+// real network produces is representable without touching either side:
+// Drop ≈ connection refused/reset, Delay ≈ congestion (tripping the
+// attempt timeout when large), Status ≈ a dying or proxied replica, and
+// Corrupt/Truncate ≈ damaged or cut-short payloads.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrDropped is the transport error a Drop fault surfaces (wrapped in
+// *url.Error by http.Client, like a real connection failure).
+var ErrDropped = errors.New("faultinject: connection dropped")
+
+// Rule is one fault with its firing condition. Exactly one of the fault
+// fields (Drop, Delay, Status, Corrupt, Truncate) should be set; the first
+// rule that matches and fires is applied, at most one fault per request.
+type Rule struct {
+	// Match selects requests the rule considers; nil matches every request.
+	Match func(*http.Request) bool
+	// Every fires the rule on every nth matching request (1 = all). Prob
+	// fires it when the seeded per-request dice land below the value.
+	// Setting neither means the rule never fires.
+	Every int
+	Prob  float64
+
+	// Drop fails the request with ErrDropped before it reaches the base
+	// transport.
+	Drop bool
+	// Delay sleeps before forwarding (honoring the request context, so a
+	// delay longer than the attempt timeout becomes a timeout).
+	Delay time.Duration
+	// Status short-circuits with a synthesized response of this code.
+	Status int
+	// Corrupt forwards the request, then overwrites one byte of the
+	// response body with 0x00 — invalid anywhere in a JSON document, so a
+	// corrupted shard document always fails decoding rather than silently
+	// merging wrong numbers.
+	Corrupt bool
+	// Truncate forwards the request, then serves only the first half of the
+	// body while keeping the original Content-Length, so the client sees an
+	// unexpected EOF mid-read — a connection cut short.
+	Truncate bool
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Requests  uint64 // requests seen by the transport
+	Drops     uint64
+	Delays    uint64
+	Statuses  uint64
+	Corrupts  uint64
+	Truncates uint64
+}
+
+// Transport applies Rules on top of Base. Safe for concurrent use.
+type Transport struct {
+	Base  http.RoundTripper
+	Seed  int64
+	Rules []Rule
+
+	mu       sync.Mutex
+	matched  []uint64 // per-rule matching-request counter
+	stats    Stats
+	disabled bool
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// SetDisabled turns injection off (true) or back on; useful for fault
+// schedules that only cover a phase of a test.
+func (t *Transport) SetDisabled(v bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.disabled = v
+}
+
+// decide returns the index of the rule to apply to this request, or -1.
+func (t *Transport) decide(req *http.Request) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	if t.disabled {
+		return -1
+	}
+	if t.matched == nil {
+		t.matched = make([]uint64, len(t.Rules))
+	}
+	for i := range t.Rules {
+		r := &t.Rules[i]
+		if r.Match != nil && !r.Match(req) {
+			continue
+		}
+		k := t.matched[i]
+		t.matched[i]++
+		fire := false
+		if r.Every > 0 && (k+1)%uint64(r.Every) == 0 {
+			fire = true
+		}
+		if !fire && r.Prob > 0 && dice(t.Seed, i, k) < r.Prob {
+			fire = true
+		}
+		if fire {
+			switch {
+			case r.Drop:
+				t.stats.Drops++
+			case r.Delay > 0:
+				t.stats.Delays++
+			case r.Status != 0:
+				t.stats.Statuses++
+			case r.Corrupt:
+				t.stats.Corrupts++
+			case r.Truncate:
+				t.stats.Truncates++
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	ri := t.decide(req)
+	if ri < 0 {
+		return base.RoundTrip(req)
+	}
+	r := &t.Rules[ri]
+	switch {
+	case r.Drop:
+		return nil, ErrDropped
+	case r.Delay > 0:
+		timer := time.NewTimer(r.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return base.RoundTrip(req)
+	case r.Status != 0:
+		body := fmt.Sprintf("faultinject: synthesized %d\n", r.Status)
+		return &http.Response{
+			StatusCode:    r.Status,
+			Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case r.Corrupt, r.Truncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if r.Corrupt && len(body) > 0 {
+			body = bytes.Clone(body)
+			body[len(body)/2] = 0x00
+			resp.Body = io.NopCloser(bytes.NewReader(body))
+			return resp, nil
+		}
+		// Truncate: deliver half the body and then a connection-cut error,
+		// so the reader hits io.ErrUnexpectedEOF instead of a clean short
+		// document.
+		resp.Body = io.NopCloser(io.MultiReader(bytes.NewReader(body[:len(body)/2]), cutReader{}))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// cutReader simulates the connection dying mid-body.
+type cutReader struct{}
+
+func (cutReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+// dice maps (seed, rule, occurrence) to [0, 1) deterministically.
+func dice(seed int64, rule int, k uint64) float64 {
+	h := fnv.New64a()
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(rule))
+	binary.LittleEndian.PutUint64(b[16:], k)
+	h.Write(b[:])
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

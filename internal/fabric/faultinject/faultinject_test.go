@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func docServer(t *testing.T) (*httptest.Server, *http.Client, *Transport) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{
+  "schema_version": 1,
+  "rounds": 12,
+  "messages": 3456
+}
+`)
+	}))
+	t.Cleanup(ts.Close)
+	ft := &Transport{}
+	return ts, &http.Client{Transport: ft}, ft
+}
+
+func TestEveryFiresDeterministically(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 3, Status: http.StatusServiceUnavailable}}
+	var codes []int
+	for i := 0; i < 9; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	for i, code := range codes {
+		want := http.StatusOK
+		if (i+1)%3 == 0 {
+			want = http.StatusServiceUnavailable
+		}
+		if code != want {
+			t.Fatalf("request %d: status %d, want %d (codes %v)", i, code, want, codes)
+		}
+	}
+	if st := ft.Stats(); st.Statuses != 3 || st.Requests != 9 {
+		t.Fatalf("stats off: %+v", st)
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	ts, _, _ := docServer(t)
+	run := func(seed int64) []bool {
+		ft := &Transport{Seed: seed, Rules: []Rule{{Prob: 0.4, Status: 503}}}
+		client := &http.Client{Transport: ft}
+		var fired []bool
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fired = append(fired, resp.StatusCode == 503)
+		}
+		return fired
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule (suspicious)")
+	}
+}
+
+func TestDropSurfacesTransportError(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 1, Drop: true}}
+	_, err := client.Get(ts.URL)
+	if err == nil || !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if st := ft.Stats(); st.Drops != 1 {
+		t.Fatalf("stats off: %+v", st)
+	}
+}
+
+// TestCorruptAlwaysBreaksJSON is the property the fabric's
+// validate-then-merge depends on: a corrupted document must fail decoding,
+// never parse into silently wrong numbers. The injected 0x00 byte is
+// invalid in JSON both inside and outside strings.
+func TestCorruptAlwaysBreaksJSON(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 1, Corrupt: true}}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err == nil {
+		t.Fatalf("corrupted body still parsed: %q", body)
+	}
+}
+
+func TestTruncateCausesUnexpectedEOF(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 1, Truncate: true}}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatal("truncated body read cleanly")
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 1, Delay: 5 * time.Second}}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Do(req.WithContext(ctx))
+	if err == nil {
+		t.Fatal("delayed request succeeded before the deadline?")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("delay ignored the context: took %v", time.Since(start))
+	}
+}
+
+func TestMatchScopesRules(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{
+		Match: func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/run") },
+		Every: 1, Status: 503,
+	}}
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unmatched request got %d", resp.StatusCode)
+	}
+	resp, err = client.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("matched request got %d", resp.StatusCode)
+	}
+}
+
+func TestSetDisabled(t *testing.T) {
+	ts, client, ft := docServer(t)
+	ft.Rules = []Rule{{Every: 1, Status: 503}}
+	ft.SetDisabled(true)
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disabled transport still injected: %d", resp.StatusCode)
+	}
+}

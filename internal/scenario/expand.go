@@ -40,9 +40,11 @@ type JobMeta struct {
 
 // Batch is an expanded corpus: the jobs in deterministic order (spec order,
 // then seed-major, with the baseline preceding the algorithm under test)
-// plus everything rendering needs.
+// plus everything rendering needs. Each spec's jobs are contiguous, in its
+// Plan's slot order, so batch job index = spec base + plan slot.
 type Batch struct {
 	Specs  []*Spec
+	Plans  []*Plan
 	Graphs []*graph.Graph
 	Jobs   []sweep.Job
 	Metas  []JobMeta
@@ -51,6 +53,17 @@ type Batch struct {
 	// algorithm's memoized plan) instead of constructing a fresh one.
 	AlgoBuilds int
 	AlgoShares int
+}
+
+// Check validates job ji's outputs through its registry checker; jobs whose
+// algorithm has no checker accept anything. Shard executors call this on
+// exactly the slots they ran — outputs exist only on the process that ran
+// the simulation, so validation cannot be deferred to the coordinator.
+func (b *Batch) Check(ji int, outputs []any) error {
+	if c := b.Metas[ji].check; c != nil {
+		return c(outputs)
+	}
+	return nil
 }
 
 // Expand validates the specs and turns them into sweep jobs. Uniform
@@ -65,7 +78,8 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 	b := &Batch{Specs: specs}
 	shared := make(map[AlgoSpec]local.Algorithm)
 	for si, s := range specs {
-		if err := s.Validate(); err != nil {
+		p, err := PlanOf(s, opts.SeedOffset)
+		if err != nil {
 			return nil, err
 		}
 		base, err := s.Graph.Build(c)
@@ -77,6 +91,7 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 		b.Graphs = append(b.Graphs, g)
+		b.Plans = append(b.Plans, p)
 
 		build := func(as AlgoSpec) (local.Algorithm, func([]any) error, error) {
 			entry, ok := LookupAlgorithm(as.Name)
@@ -117,34 +132,64 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 			}
 		}
 
-		add := func(as AlgoSpec, a local.Algorithm, role string, seed int64, rep int, check func([]any) error) int {
-			idx := len(b.Jobs)
+		// The plan already fixed the grid: attach the built graph, algorithm
+		// values and checkers to its slots, re-basing RatioOf from plan-local
+		// to batch-global indices.
+		baseIdx := len(b.Jobs)
+		for k := range p.Metas {
+			m := p.Metas[k]
+			a, check := algo, algoCheck
+			if m.Role == "baseline" {
+				a, check = baseline, baselineCheck
+			}
 			b.Jobs = append(b.Jobs, sweep.Job{
-				Label:     fmt.Sprintf("%s/%s/seed=%d/rep=%d", s.Name, as.Name, seed, rep),
+				Label:     p.Labels[k],
 				Graph:     g,
 				Algo:      func() local.Algorithm { return a },
-				Seed:      seed,
+				Seed:      m.Seed,
 				MaxRounds: s.MaxRounds,
 			})
-			b.Metas = append(b.Metas, JobMeta{
-				Spec: si, Algo: as, Role: role, Seed: seed, Rep: rep, RatioOf: -1, check: check,
-			})
-			return idx
-		}
-
-		for _, sd := range s.seeds() {
-			seed := sd + opts.SeedOffset
-			for rep := 0; rep < s.repeat(); rep++ {
-				bi := -1
-				if baseline != nil {
-					bi = add(*s.Baseline, baseline, "baseline", seed, rep, baselineCheck)
-				}
-				ui := add(s.Algorithm, algo, "uniform", seed, rep, algoCheck)
-				b.Metas[ui].RatioOf = bi
+			m.Spec = si
+			if m.RatioOf >= 0 {
+				m.RatioOf += baseIdx
 			}
+			m.check = check
+			b.Metas = append(b.Metas, m)
 		}
 	}
 	return b, nil
+}
+
+// Summarize validates a batch's results — job errors and registry output
+// checks — and reduces them to the deterministic render model. A failed job
+// or an invalid output aborts with an error naming the job.
+func Summarize(b *Batch, results []sweep.Result) (*Table, error) {
+	if len(results) != len(b.Jobs) {
+		return nil, fmt.Errorf("scenario: %d results for %d jobs", len(results), len(b.Jobs))
+	}
+	t := &Table{Jobs: len(b.Jobs), Sections: make([]Section, 0, len(b.Plans))}
+	base := 0
+	for si, p := range b.Plans {
+		slots := make([]SlotOutcome, len(p.Metas))
+		for k := range p.Metas {
+			ji := base + k
+			r := results[ji]
+			if r.Err != nil {
+				return nil, fmt.Errorf("scenario %s: %s: %w", b.Specs[si].Name, b.Jobs[ji].Label, r.Err)
+			}
+			if err := b.Check(ji, r.Res.Outputs); err != nil {
+				return nil, fmt.Errorf("scenario %s: %s: invalid output: %w", b.Specs[si].Name, b.Jobs[ji].Label, err)
+			}
+			slots[k] = SlotOutcome{Slot: k, Rounds: r.Res.Rounds, Messages: r.Res.Messages}
+		}
+		sec, err := SectionFrom(p, InfoOf(b.Graphs[si]), slots)
+		if err != nil {
+			return nil, err
+		}
+		t.Sections = append(t.Sections, sec)
+		base += len(p.Metas)
+	}
+	return t, nil
 }
 
 // Render writes the corpus results as markdown, one section per scenario, in
@@ -153,48 +198,15 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 // batch produce byte-identical output; CI's scenario gate diffs exactly
 // this. Each job's outputs are re-validated through its registry checker,
 // and a failed check (or failed job) aborts rendering with an error.
+// Internally this is Summarize followed by Table.Write — the same model and
+// writer the distributed fabric merges shard documents into, which is what
+// makes a multi-replica sweep byte-identical to this single-process path.
 func Render(w io.Writer, b *Batch, results []sweep.Result) error {
-	if len(results) != len(b.Jobs) {
-		return fmt.Errorf("scenario: %d results for %d jobs", len(results), len(b.Jobs))
+	t, err := Summarize(b, results)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(w, "## Scenario corpus — %d scenarios, %d jobs\n", len(b.Specs), len(b.Jobs))
-	for si, s := range b.Specs {
-		g := b.Graphs[si]
-		fmt.Fprintf(w, "\n### %s\n\n", s.Name)
-		if s.Description != "" {
-			fmt.Fprintf(w, "%s\n\n", s.Description)
-		}
-		fmt.Fprintf(w, "graph: %s · ids: %s · n=%d · edges=%d · Δ=%d · m=%d\n\n",
-			s.Graph, s.IDs, g.N(), g.NumEdges(), g.MaxDegree(), g.MaxIDValue())
-		fmt.Fprintln(w, "| algorithm | role | seed | rep | rounds | messages | ratio |")
-		fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
-		for ji := range b.Jobs {
-			m := &b.Metas[ji]
-			if m.Spec != si {
-				continue
-			}
-			r := results[ji]
-			if r.Err != nil {
-				return fmt.Errorf("scenario %s: %s: %w", s.Name, b.Jobs[ji].Label, r.Err)
-			}
-			if m.check != nil {
-				if err := m.check(r.Res.Outputs); err != nil {
-					return fmt.Errorf("scenario %s: %s: invalid output: %w", s.Name, b.Jobs[ji].Label, err)
-				}
-			}
-			ratio := "—"
-			if m.RatioOf >= 0 {
-				base := results[m.RatioOf]
-				if base.Err != nil {
-					return fmt.Errorf("scenario %s: baseline: %w", s.Name, base.Err)
-				}
-				ratio = fmt.Sprintf("%.2f", float64(r.Res.Rounds)/float64(base.Res.Rounds))
-			}
-			fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %d | %s |\n",
-				m.Algo, m.Role, m.Seed, m.Rep, r.Res.Rounds, r.Res.Messages, ratio)
-		}
-	}
-	return nil
+	return t.Write(w)
 }
 
 // Doc assembles the benchfmt document for a completed batch: one record per

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plan is the graph-free half of a spec's expansion: the job grid — metas
+// and labels in slot order — computed without building a single graph or
+// algorithm. The grid shape is a pure function of the spec (seed grid ×
+// repetitions × algorithms, baseline preceding the algorithm under test),
+// so a coordinator can know every slot a remote shard must report, and what
+// each slot means, without paying for expansion itself. RatioOf indices are
+// slot indices into this plan (Expand re-bases them when it concatenates
+// specs into one batch).
+type Plan struct {
+	Spec   *Spec
+	Metas  []JobMeta
+	Labels []string
+}
+
+// PlanOf validates the spec and computes its job grid. seedOffset shifts
+// every spec seed, exactly as ExpandOptions.SeedOffset does.
+func PlanOf(s *Spec, seedOffset int64) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Spec: s}
+	add := func(as AlgoSpec, role string, seed int64, rep int) int {
+		idx := len(p.Metas)
+		p.Metas = append(p.Metas, JobMeta{Algo: as, Role: role, Seed: seed, Rep: rep, RatioOf: -1})
+		p.Labels = append(p.Labels, fmt.Sprintf("%s/%s/seed=%d/rep=%d", s.Name, as.Name, seed, rep))
+		return idx
+	}
+	for _, sd := range s.seeds() {
+		seed := sd + seedOffset
+		for rep := 0; rep < s.repeat(); rep++ {
+			bi := -1
+			if s.Baseline != nil {
+				bi = add(*s.Baseline, "baseline", seed, rep)
+			}
+			ui := add(s.Algorithm, "uniform", seed, rep)
+			p.Metas[ui].RatioOf = bi
+		}
+	}
+	return p, nil
+}
+
+// Jobs returns the grid size.
+func (p *Plan) Jobs() int { return len(p.Metas) }
+
+// Shard names one of Count same-sized partitions of a job grid. Slots are
+// assigned by modulus — shard i owns slots i, i+Count, i+2·Count, … — so a
+// spec whose baseline and uniform runs alternate spreads both roles across
+// all shards, and the union of all shards is exactly the grid. Because
+// every simulation outcome is a pure function of (spec, seed), partitioning
+// is invisible in the merged document: results land back at their global
+// slot index no matter which replica computed them.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Validate checks 1 <= Count and 0 <= Index < Count.
+func (sh Shard) Validate() error {
+	if sh.Count < 1 {
+		return fmt.Errorf("shard: count %d must be >= 1", sh.Count)
+	}
+	if sh.Index < 0 || sh.Index >= sh.Count {
+		return fmt.Errorf("shard: index %d out of range [0, %d)", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// String renders the shard as "index/count", the serve API's query form.
+func (sh Shard) String() string { return fmt.Sprintf("%d/%d", sh.Index, sh.Count) }
+
+// Slots returns this shard's slot indices in a grid of jobs slots, ascending.
+// A shard whose index is >= jobs owns nothing and returns nil.
+func (sh Shard) Slots(jobs int) []int {
+	if jobs <= sh.Index {
+		return nil
+	}
+	out := make([]int, 0, (jobs-sh.Index+sh.Count-1)/sh.Count)
+	for i := sh.Index; i < jobs; i += sh.Count {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Size returns len(Slots(jobs)) without allocating.
+func (sh Shard) Size(jobs int) int {
+	if jobs <= sh.Index {
+		return 0
+	}
+	return (jobs - sh.Index + sh.Count - 1) / sh.Count
+}
+
+// ParseShard parses the "index/count" form, validating the result.
+func ParseShard(s string) (Shard, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("shard %q: want index/count", s)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: bad index: %v", s, err)
+	}
+	n, err := strconv.Atoi(cnt)
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: bad count: %v", s, err)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/unilocal/unilocal/internal/graph"
+)
+
+// GraphInfo is the deterministic graph header of one scenario section —
+// exactly the fields the rendered document prints. A shard reports these
+// over the wire so the coordinator can reproduce the header (and
+// cross-check that every replica built the same graph) without building the
+// graph itself.
+type GraphInfo struct {
+	N      int   `json:"n"`
+	Edges  int   `json:"edges"`
+	MaxDeg int   `json:"max_degree"`
+	MaxID  int64 `json:"max_id"`
+}
+
+// InfoOf reads the header fields off a built graph.
+func InfoOf(g *graph.Graph) GraphInfo {
+	return GraphInfo{N: g.N(), Edges: g.NumEdges(), MaxDeg: g.MaxDegree(), MaxID: g.MaxIDValue()}
+}
+
+// SlotOutcome is the deterministic outcome of one job slot: the only fields
+// that cross the wire in a shard document. Outputs never travel — they are
+// validated by the registry checkers on the process that ran the slot.
+type SlotOutcome struct {
+	Slot     int   `json:"slot"`
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+}
+
+// Row is one rendered table line.
+type Row struct {
+	Algo     string
+	Role     string
+	Seed     int64
+	Rep      int
+	Rounds   int
+	Messages int64
+	Ratio    string
+}
+
+// Section is one scenario's slice of the render model.
+type Section struct {
+	Name        string
+	Description string
+	Graph       string
+	IDs         string
+	Info        GraphInfo
+	Rows        []Row
+}
+
+// Table is the deterministic render model of a whole corpus document. Both
+// execution paths reduce to it — Summarize from in-process sweep results,
+// the fabric coordinator from merged shard documents — so the markdown they
+// write is byte-identical by construction, not by parallel maintenance of
+// two formatters.
+type Table struct {
+	Jobs     int
+	Sections []Section
+}
+
+// SectionFrom assembles one spec's section from its plan, the graph header
+// and a full slot-indexed set of outcomes (slots[k] is the outcome of plan
+// slot k). Ratios are computed here, coordinator-side in a distributed run:
+// a baseline and its uniform partner may have executed on different
+// replicas, but both report raw rounds, and the ratio is a pure function of
+// those.
+func SectionFrom(p *Plan, info GraphInfo, slots []SlotOutcome) (Section, error) {
+	if len(slots) != len(p.Metas) {
+		return Section{}, fmt.Errorf("scenario %s: %d slot outcomes for %d jobs", p.Spec.Name, len(slots), len(p.Metas))
+	}
+	s := p.Spec
+	sec := Section{
+		Name:        s.Name,
+		Description: s.Description,
+		Graph:       s.Graph.String(),
+		IDs:         s.IDs.String(),
+		Info:        info,
+		Rows:        make([]Row, 0, len(p.Metas)),
+	}
+	for i := range p.Metas {
+		m := &p.Metas[i]
+		ratio := "—"
+		if m.RatioOf >= 0 {
+			ratio = fmt.Sprintf("%.2f", float64(slots[i].Rounds)/float64(slots[m.RatioOf].Rounds))
+		}
+		sec.Rows = append(sec.Rows, Row{
+			Algo:     m.Algo.String(),
+			Role:     m.Role,
+			Seed:     m.Seed,
+			Rep:      m.Rep,
+			Rounds:   slots[i].Rounds,
+			Messages: slots[i].Messages,
+			Ratio:    ratio,
+		})
+	}
+	return sec, nil
+}
+
+// Write renders the document. Every written field is deterministic, so two
+// tables built from the same specs and seeds — whether the outcomes came
+// from one process or were merged from N replicas — serialize to the same
+// bytes.
+func (t *Table) Write(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "## Scenario corpus — %d scenarios, %d jobs\n", len(t.Sections), t.Jobs)
+	for i := range t.Sections {
+		sec := &t.Sections[i]
+		fmt.Fprintf(ew, "\n### %s\n\n", sec.Name)
+		if sec.Description != "" {
+			fmt.Fprintf(ew, "%s\n\n", sec.Description)
+		}
+		fmt.Fprintf(ew, "graph: %s · ids: %s · n=%d · edges=%d · Δ=%d · m=%d\n\n",
+			sec.Graph, sec.IDs, sec.Info.N, sec.Info.Edges, sec.Info.MaxDeg, sec.Info.MaxID)
+		fmt.Fprintln(ew, "| algorithm | role | seed | rep | rounds | messages | ratio |")
+		fmt.Fprintln(ew, "|---|---|---|---|---|---|---|")
+		for _, r := range sec.Rows {
+			fmt.Fprintf(ew, "| %s | %s | %d | %d | %d | %d | %s |\n",
+				r.Algo, r.Role, r.Seed, r.Rep, r.Rounds, r.Messages, r.Ratio)
+		}
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so the formatting code above
+// stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

@@ -1,0 +1,83 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent identical requests into one execution.
+// The first request for a key becomes the leader and runs the batch; every
+// request for the same key arriving before the leader finishes waits on the
+// flight instead of burning an execution slot on work whose result is — by
+// the determinism contract — byte-identical. The flight key is
+// (seed, canonical spec, shard), deliberately not the format: one execution
+// renders every format, so an md and a json request for the same spec
+// coalesce too.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress execution. The leader fills the outcome fields
+// and then closes done; waiters read them only after done is closed, so the
+// channel provides the happens-before edge and no lock is needed on the
+// fields themselves.
+type flight struct {
+	key  string
+	done chan struct{}
+
+	// bodies/cts hold the rendered response per variant ("md", "json", or
+	// the shard string) on success.
+	bodies map[string][]byte
+	cts    map[string]string
+
+	// replayStatus, when non-zero, is a deterministic client error (400,
+	// 413, 422): re-running the request would fail identically, so waiters
+	// replay it instead of becoming leaders themselves. Transient outcomes
+	// (429, 499, 503, 504, 5xx) leave it zero and waiters retry.
+	replayStatus int
+	replayMsg    string
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key; leader is true when this caller created
+// it and must execute, publish and finish it.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{
+		key:    key,
+		done:   make(chan struct{}),
+		bodies: make(map[string][]byte),
+		cts:    make(map[string]string),
+	}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome: the flight leaves the map first —
+// so a request arriving after the outcome is settled starts a fresh flight
+// instead of attaching to a finished one — and done closes last, releasing
+// the waiters.
+func (g *flightGroup) finish(f *flight) {
+	g.mu.Lock()
+	delete(g.m, f.key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// publish records one rendered variant. Leader-only, before finish.
+func (f *flight) publish(variant, contentType string, body []byte) {
+	f.bodies[variant] = body
+	f.cts[variant] = contentType
+}
+
+// lookup returns the published body for a variant, if any. Waiter-only,
+// after done.
+func (f *flight) lookup(variant string) (body []byte, contentType string, ok bool) {
+	body, ok = f.bodies[variant]
+	return body, f.cts[variant], ok
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeSingleFlightCoalesces is the satellite acceptance test: N
+// concurrent POSTs of the same spec must cause exactly one execution. The
+// cache is disabled so coalescing — not caching — is what collapses the
+// load. The only execution slot is occupied before the clients fire, so
+// every request reaches the flight before the leader can run: one request
+// leads (and queues for admission), the rest wait on the flight. Releasing
+// the slot lets the leader execute once and publish to everyone.
+func TestServeSingleFlightCoalesces(t *testing.T) {
+	req := readTestdata(t, "mis_request.json")
+	s := New(Config{MaxInFlight: 1, QueueDepth: 64, CacheSize: -1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	s.sem <- struct{}{} // hold the only slot until all clients have joined
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	cacheHdr := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postSpec(t, ts.Client(), ts.URL+"/run", req)
+			bodies[i], cacheHdr[i] = body, resp.Header.Get("X-Localserved-Cache")
+		}(i)
+	}
+
+	// Wait until every client is inside the handler (the gap between the
+	// request counter and the flight join is pure in-memory parsing), then
+	// release the slot and let the leader run.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().RequestsTotal < clients {
+		if time.Now().After(deadline) {
+			t.Fatal("clients never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	<-s.sem
+	wg.Wait()
+
+	miss, coalesced := 0, 0
+	for i := 0; i < clients; i++ {
+		switch cacheHdr[i] {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Fatalf("client %d: cache header %q", i, cacheHdr[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs from client 0", i)
+		}
+	}
+	if miss != 1 || coalesced != clients-1 {
+		t.Fatalf("%d misses and %d coalesced responses, want 1 and %d", miss, coalesced, clients-1)
+	}
+
+	m := s.Snapshot()
+	// The golden spec expands to 2 jobs (baseline + uniform, one seed): a
+	// single execution means the job counter saw exactly one batch.
+	if m.Jobs != 2 {
+		t.Fatalf("jobs counter = %d, want 2 (one execution)", m.Jobs)
+	}
+	if m.ResponsesCoalesced != clients-1 {
+		t.Fatalf("coalesced counter = %d, want %d", m.ResponsesCoalesced, clients-1)
+	}
+}

@@ -103,12 +103,13 @@ type Config struct {
 // Server is the HTTP serving layer. Create with New; it implements
 // http.Handler (POST /run, GET /healthz, GET /metrics).
 type Server struct {
-	cfg    Config
-	corpus *graph.Corpus
-	cache  *respCache
-	mux    *http.ServeMux
-	sem    chan struct{}
-	start  time.Time
+	cfg     Config
+	corpus  *graph.Corpus
+	cache   *respCache
+	flights *flightGroup
+	mux     *http.ServeMux
+	sem     chan struct{}
+	start   time.Time
 
 	draining atomic.Bool
 	inFlight atomic.Int64
@@ -117,6 +118,7 @@ type Server struct {
 	requests     atomic.Uint64
 	ok           atomic.Uint64
 	cached       atomic.Uint64
+	coalesced    atomic.Uint64
 	rejected     atomic.Uint64
 	badRequests  atomic.Uint64
 	canceled     atomic.Uint64
@@ -164,11 +166,12 @@ func New(cfg Config) *Server {
 		corpusLimit = 0 // unbounded
 	}
 	s := &Server{
-		cfg:    cfg,
-		corpus: graph.NewBoundedCorpus(corpusLimit),
-		cache:  newRespCache(cfg.CacheSize),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		start:  time.Now(),
+		cfg:     cfg,
+		corpus:  graph.NewBoundedCorpus(corpusLimit),
+		cache:   newRespCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		start:   time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
@@ -294,9 +297,40 @@ func (s *Server) admit(ctx context.Context) (func(), int) {
 	}, 0
 }
 
+// runRequest is one parsed POST /run, threaded from handleRun to the
+// single-flight leader.
+type runRequest struct {
+	spec  *scenario.Spec
+	shard *scenario.Shard // nil for a whole-grid request
+	seed  int64
+	// format is "md" or "json"; ignored when shard is non-nil (a shard
+	// response is always the JSON shard document).
+	format string
+	// variant keys the response body within a flight and the cache: the
+	// format, or "shard:i/n".
+	variant string
+	// baseKey is seed + canonical spec — the execution identity shared by
+	// both formats of a whole-grid request.
+	baseKey string
+}
+
+func (req *runRequest) cacheKey() string { return req.variant + "\x00" + req.baseKey }
+
+// flightKey excludes the format for whole-grid requests — one execution
+// renders both formats, so md and json requests coalesce — but includes the
+// shard, so different shards of one spec execute concurrently.
+func (req *runRequest) flightKey() string {
+	if req.shard != nil {
+		return req.cacheKey()
+	}
+	return req.baseKey
+}
+
 // handleRun is POST /run: body is one scenario.Spec (same strict JSON schema
 // as a scenarios/ file), query parameters seed (default 1, shifts the spec's
-// seed grid exactly like localbench -seed) and format (md | json).
+// seed grid exactly like localbench -seed), format (md | json) and shard
+// (i/n: execute only the grid slots with index ≡ i mod n and answer with
+// the JSON shard document; mutually exclusive with format).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.draining.Load() {
@@ -314,14 +348,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = n
 	}
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		format = "md"
+	var shard *scenario.Shard
+	if v := r.URL.Query().Get("shard"); v != "" {
+		sh, err := scenario.ParseShard(v)
+		if err != nil {
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "bad shard %q: %v", v, err)
+			return
+		}
+		shard = &sh
 	}
-	if format != "md" && format != "json" {
-		s.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, "bad format %q (md or json)", format)
-		return
+	format := r.URL.Query().Get("format")
+	if shard != nil {
+		if format != "" {
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "format and shard are mutually exclusive (a shard response is always the JSON shard document)")
+			return
+		}
+	} else {
+		if format == "" {
+			format = "md"
+		}
+		if format != "md" && format != "json" {
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "bad format %q (md or json)", format)
+			return
+		}
 	}
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
@@ -341,7 +393,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad scenario: %v", err)
 		return
 	}
-	if err := s.checkLimits(spec); err != nil {
+	if err := s.checkLimits(spec, shard); err != nil {
 		s.badRequests.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -355,23 +407,72 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "canonicalizing spec: %v", err)
 		return
 	}
-	baseKey := strconv.FormatInt(seed, 10) + "\x00" + string(canonical)
-	key := format + "\x00" + baseKey
-	if body, ct, ok := s.cache.get(key); ok {
-		s.cached.Add(1)
-		s.ok.Add(1)
-		writeResponse(w, ct, "hit", body)
-		return
+	req := &runRequest{
+		spec:    spec,
+		shard:   shard,
+		seed:    seed,
+		format:  format,
+		variant: format,
+		baseKey: strconv.FormatInt(seed, 10) + "\x00" + string(canonical),
 	}
+	if shard != nil {
+		req.variant = "shard:" + shard.String()
+	}
+
+	for {
+		if body, ct, ok := s.cache.get(req.cacheKey()); ok {
+			s.cached.Add(1)
+			s.ok.Add(1)
+			writeResponse(w, ct, "hit", body)
+			return
+		}
+		f, leader := s.flights.join(req.flightKey())
+		if leader {
+			s.lead(w, r, f, req)
+			return
+		}
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			s.canceled.Add(1)
+			httpError(w, statusClientClosedRequest, "canceled while coalesced")
+			return
+		}
+		if body, ct, ok := f.lookup(req.variant); ok {
+			s.coalesced.Add(1)
+			s.ok.Add(1)
+			writeResponse(w, ct, "coalesced", body)
+			return
+		}
+		if f.replayStatus != 0 {
+			// The leader hit a deterministic client error; re-running the
+			// identical request would fail identically.
+			s.coalesced.Add(1)
+			s.badRequests.Add(1)
+			httpError(w, f.replayStatus, "%s", f.replayMsg)
+			return
+		}
+		// The leader's outcome was transient (rejected, canceled, failed):
+		// loop — next round hits the cache, joins a newer flight, or leads.
+	}
+}
+
+// lead executes a request as its flight's leader: admission, execution,
+// rendering, cache fill, and publication of the outcome to coalesced
+// waiters. finish runs on every path, so waiters never block on a leader
+// that errored out.
+func (s *Server) lead(w http.ResponseWriter, r *http.Request, f *flight, req *runRequest) {
+	defer s.flights.finish(f)
 
 	release, status := s.admit(r.Context())
 	if status != 0 {
 		if status == http.StatusTooManyRequests {
 			s.rejected.Add(1)
+			s.writeBusy(w)
 		} else {
 			s.canceled.Add(1)
+			httpError(w, status, "not admitted")
 		}
-		httpError(w, status, "not admitted")
 		return
 	}
 	defer release()
@@ -382,91 +483,156 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	out, err := Execute([]*scenario.Spec{spec}, ExecOptions{
+	opts := ExecOptions{
 		Corpus:        s.corpus,
-		SeedOffset:    seed - 1,
+		SeedOffset:    req.seed - 1,
 		Parallel:      s.cfg.Parallel,
 		EngineWorkers: s.cfg.EngineWorkers,
 		Context:       ctx,
-	})
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrSpec):
-			s.badRequests.Add(1)
-			httpError(w, http.StatusBadRequest, "bad scenario: %v", err)
-		case errors.Is(err, local.ErrMaxRounds):
-			// The client's max_rounds (or the engine cap) expired before the
-			// algorithm terminated: deterministic, client-induced, not a
-			// server fault — do not page the operator for it.
-			s.badRequests.Add(1)
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		case errors.Is(err, sweep.ErrCanceled):
-			s.canceled.Add(1)
-			if errors.Is(err, context.DeadlineExceeded) {
-				httpError(w, http.StatusGatewayTimeout, "canceled: %v", err)
-			} else {
-				httpError(w, statusClientClosedRequest, "canceled: %v", err)
-			}
-		default:
-			s.failed.Add(1)
-			httpError(w, http.StatusInternalServerError, "run failed: %v", err)
-		}
-		return
 	}
-	s.jobs.Add(uint64(out.Stats.Jobs))
-	s.sweepWallNs.Add(uint64(out.Stats.Wall.Nanoseconds()))
-	s.engineAllocs.Add(out.Stats.EngineAllocs)
-
-	// One execution serves both formats: the JSON document derives from the
-	// same Outcome the markdown does, so when the cache is on, fill both
-	// format entries now instead of re-running the whole batch when the
-	// other format is requested later. With the cache disabled, only the
-	// requested format is rendered.
-	mdBody := out.Markdown
 	const mdCT = "text/markdown; charset=utf-8"
 	const jsonCT = "application/json"
-	cacheOn := s.cfg.CacheSize > 0
-	var jsonBody []byte
-	if format == "json" || cacheOn {
-		doc, err := DeterministicDoc(out, seed)
+
+	if req.shard != nil {
+		doc, stats, err := ExecuteShard(req.spec, *req.shard, opts)
 		if err != nil {
-			s.failed.Add(1)
-			httpError(w, http.StatusInternalServerError, "building document: %v", err)
+			s.execError(w, f, err)
 			return
 		}
+		s.recordStats(stats)
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			s.failed.Add(1)
-			httpError(w, http.StatusInternalServerError, "encoding document: %v", err)
+			httpError(w, http.StatusInternalServerError, "encoding shard document: %v", err)
 			return
 		}
-		jsonBody = append(data, '\n')
+		data = append(data, '\n')
+		s.cache.put(req.cacheKey(), data, jsonCT)
+		f.publish(req.variant, jsonCT, data)
+		s.ok.Add(1)
+		writeResponse(w, jsonCT, "miss", data)
+		return
 	}
-	if cacheOn {
-		s.cache.put("md\x00"+baseKey, mdBody, mdCT)
-		s.cache.put("json\x00"+baseKey, jsonBody, jsonCT)
+
+	out, err := Execute([]*scenario.Spec{req.spec}, opts)
+	if err != nil {
+		s.execError(w, f, err)
+		return
 	}
+	s.recordStats(out.Stats)
+
+	// One execution serves both formats: the JSON document derives from the
+	// same Outcome the markdown does, so render both now — they feed the
+	// cache's two format entries and any coalesced waiter that asked for the
+	// other format — instead of re-running the whole batch later.
+	mdBody := out.Markdown
+	doc, err := DeterministicDoc(out, req.seed)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "building document: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "encoding document: %v", err)
+		return
+	}
+	jsonBody := append(data, '\n')
+	s.cache.put("md\x00"+req.baseKey, mdBody, mdCT)
+	s.cache.put("json\x00"+req.baseKey, jsonBody, jsonCT)
+	f.publish("md", mdCT, mdBody)
+	f.publish("json", jsonCT, jsonBody)
 	s.ok.Add(1)
-	if format == "md" {
+	if req.format == "md" {
 		writeResponse(w, mdCT, "miss", mdBody)
 	} else {
 		writeResponse(w, jsonCT, "miss", jsonBody)
 	}
 }
 
+// execError maps an Execute/ExecuteShard error to its HTTP response.
+// Deterministic client errors (bad spec, max_rounds expiry) are additionally
+// published to the flight so coalesced waiters replay them; transient
+// outcomes (cancellation, timeout, server fault) are not — a waiter retries
+// those itself.
+func (s *Server) execError(w http.ResponseWriter, f *flight, err error) {
+	switch {
+	case errors.Is(err, ErrSpec):
+		s.badRequests.Add(1)
+		s.deterministicError(w, f, http.StatusBadRequest, "bad scenario: %v", err)
+	case errors.Is(err, local.ErrMaxRounds):
+		// The client's max_rounds (or the engine cap) expired before the
+		// algorithm terminated: deterministic, client-induced, not a
+		// server fault — do not page the operator for it.
+		s.badRequests.Add(1)
+		s.deterministicError(w, f, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, sweep.ErrCanceled):
+		s.canceled.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout, "canceled: %v", err)
+		} else {
+			httpError(w, statusClientClosedRequest, "canceled: %v", err)
+		}
+	default:
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "run failed: %v", err)
+	}
+}
+
+func (s *Server) deterministicError(w http.ResponseWriter, f *flight, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	f.replayStatus = status
+	f.replayMsg = msg
+	httpError(w, status, "%s", msg)
+}
+
+func (s *Server) recordStats(stats sweep.Stats) {
+	s.jobs.Add(uint64(stats.Jobs))
+	s.sweepWallNs.Add(uint64(stats.Wall.Nanoseconds()))
+	s.engineAllocs.Add(stats.EngineAllocs)
+}
+
+// writeBusy answers an admission overflow with 429, a Retry-After hint and
+// the admission gauges a remote backoff policy needs: a client seeing
+// queued at queue_depth should back off harder than one that merely lost
+// the race for the last free slot. The hint grows with queue pressure —
+// one second per full in-flight set's worth of queued requests.
+func (s *Server) writeBusy(w http.ResponseWriter) {
+	inFlight := s.inFlight.Load()
+	queued := s.queued.Load()
+	retry := 1 + int(queued)/s.cfg.MaxInFlight
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintf(w, "{\"error\":\"localserved: not admitted: all execution slots busy and queue full\",\"in_flight\":%d,\"queued\":%d,\"max_in_flight\":%d,\"queue_depth\":%d,\"retry_after_seconds\":%d}\n",
+		inFlight, queued, s.cfg.MaxInFlight, s.cfg.QueueDepth, retry)
+}
+
 // checkLimits refuses a spec that would commission more work than the
 // server is configured to accept from one request: estimated graph size
 // (via the family table) and expanded job count. Bounding here — before any
 // expansion — is what keeps graph generation, which cannot be canceled
-// mid-build, from pinning an execution slot indefinitely.
-func (s *Server) checkLimits(spec *scenario.Spec) error {
+// mid-build, from pinning an execution slot indefinitely. A shard request
+// is bounded by its own share of the grid, not the whole grid: a sweep too
+// large for one request stays servable split across enough shards (the
+// graph-size bounds still apply unsharded — every shard builds the graph).
+func (s *Server) checkLimits(spec *scenario.Spec, shard *scenario.Shard) error {
 	if n := spec.Graph.ApproxNodes(); s.cfg.MaxNodes > 0 && n > s.cfg.MaxNodes {
 		return fmt.Errorf("graph %s: ~%d nodes exceeds the server's per-request limit of %d", spec.Graph, n, s.cfg.MaxNodes)
 	}
 	if e := spec.Graph.ApproxEdges(); s.cfg.MaxEdges > 0 && e > s.cfg.MaxEdges {
 		return fmt.Errorf("graph %s: ~%d edges exceeds the server's per-request limit of %d", spec.Graph, e, s.cfg.MaxEdges)
 	}
-	if jobs := spec.ApproxJobs(); s.cfg.MaxJobs > 0 && jobs > s.cfg.MaxJobs {
+	jobs := spec.ApproxJobs()
+	if shard != nil {
+		share := shard.Size(jobs)
+		if s.cfg.MaxJobs > 0 && share > s.cfg.MaxJobs {
+			return fmt.Errorf("shard %s spans %d of the spec's %d jobs, over the server's per-request limit of %d", shard, share, jobs, s.cfg.MaxJobs)
+		}
+		return nil
+	}
+	if s.cfg.MaxJobs > 0 && jobs > s.cfg.MaxJobs {
 		return fmt.Errorf("spec expands to %d jobs, over the server's per-request limit of %d", jobs, s.cfg.MaxJobs)
 	}
 	return nil
@@ -493,10 +659,14 @@ type Metrics struct {
 	RequestsTotal   uint64 `json:"requests_total"`
 	ResponsesOK     uint64 `json:"responses_ok"`
 	ResponsesCached uint64 `json:"responses_cached"`
-	Rejected        uint64 `json:"rejected"`
-	BadRequests     uint64 `json:"bad_requests"`
-	Canceled        uint64 `json:"canceled"`
-	Failed          uint64 `json:"failed"`
+	// ResponsesCoalesced counts requests answered from another in-flight
+	// identical request's execution (single-flight), without running the
+	// batch or hitting the cache.
+	ResponsesCoalesced uint64 `json:"responses_coalesced"`
+	Rejected           uint64 `json:"rejected"`
+	BadRequests        uint64 `json:"bad_requests"`
+	Canceled           uint64 `json:"canceled"`
+	Failed             uint64 `json:"failed"`
 
 	// Jobs / JobsPerSec / EngineAllocs aggregate the sweep batches executed
 	// since start; JobsPerSec is jobs over cumulative batch wall time (the
@@ -530,6 +700,7 @@ func (s *Server) Snapshot() Metrics {
 	m.RequestsTotal = s.requests.Load()
 	m.ResponsesOK = s.ok.Load()
 	m.ResponsesCached = s.cached.Load()
+	m.ResponsesCoalesced = s.coalesced.Load()
 	m.Rejected = s.rejected.Load()
 	m.BadRequests = s.badRequests.Load()
 	m.Canceled = s.canceled.Load()

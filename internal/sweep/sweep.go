@@ -26,6 +26,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -116,12 +117,79 @@ type Options struct {
 	Context context.Context
 }
 
+// Results is a batch's outcomes in job order. The helper methods are the
+// slot bookkeeping shard executors and retry coordinators lean on: a slot
+// is "complete" exactly when it carries a successful simulation, and
+// cancellation is distinguishable from genuine failure without callers
+// re-deriving either from error chains.
+type Results []Result
+
+// FirstIncomplete returns the index of the first slot that did not complete
+// successfully — a nil Res or a non-nil Err, including canceled slots — or
+// -1 when every slot completed. A non-negative return is what a shard-level
+// retry must re-run.
+func (rs Results) FirstIncomplete() int {
+	for i := range rs {
+		if rs[i].Err != nil || rs[i].Res == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// FirstErr returns the first error that is a genuine failure — not a
+// cancellation — in job order; when the only errors are cancellations
+// (slots stamped with ErrCanceled by a fired context) it returns the first
+// of those instead, and nil when every slot completed. Retry bookkeeping
+// depends on the distinction: a canceled slot is re-runnable as-is, while a
+// failed slot would fail again deterministically.
+func (rs Results) FirstErr() error {
+	var canceled error
+	for i := range rs {
+		err := rs[i].Err
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrCanceled) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return err
+	}
+	return canceled
+}
+
+// MergeSlots scatters a shard's sub-results into the full-width result
+// slice: sub[k] lands at dst[slots[k]]. It refuses shape mismatches, slot
+// indices outside dst and slots already holding a completed result, so two
+// shards that were (incorrectly) assigned overlapping slots fail loudly
+// instead of silently overwriting each other. Because results are pure
+// functions of (graph, algorithm, seed), a merge of disjoint shard results
+// is byte-identical to running the whole grid in one process.
+func MergeSlots(dst Results, slots []int, sub Results) error {
+	if len(slots) != len(sub) {
+		return fmt.Errorf("sweep: merging %d results into %d slots", len(sub), len(slots))
+	}
+	for k, slot := range slots {
+		if slot < 0 || slot >= len(dst) {
+			return fmt.Errorf("sweep: slot %d outside grid of %d", slot, len(dst))
+		}
+		if dst[slot].Res != nil || dst[slot].Err != nil {
+			return fmt.Errorf("sweep: slot %d already filled", slot)
+		}
+		dst[slot] = sub[k]
+	}
+	return nil
+}
+
 // Run executes the jobs and returns their results in job order plus the
 // batch statistics. Deterministic fields of the results are identical for
 // every Parallel and EngineWorkers setting. When Options.Context fires
 // mid-batch the returned slice is partially filled: completed jobs keep
 // their results, every other slot errors with ErrCanceled.
-func Run(jobs []Job, opts Options) ([]Result, Stats) {
+func Run(jobs []Job, opts Options) (Results, Stats) {
 	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -216,16 +284,8 @@ func Run(jobs []Job, opts Options) ([]Result, Stats) {
 	return results, stats
 }
 
-// FirstErr returns the first job error in job order (a convenience for
-// harnesses that abort a sweep on any failure), or nil. In a canceled batch
-// this is the first slot the batch did not complete, which — because slots
-// are stamped, never left zero — satisfies errors.Is(err, ErrCanceled)
-// unless an earlier job failed for a real reason first.
+// FirstErr is Results.FirstErr as a free function, for callers holding a
+// plain slice.
 func FirstErr(results []Result) error {
-	for i := range results {
-		if results[i].Err != nil {
-			return results[i].Err
-		}
-	}
-	return nil
+	return Results(results).FirstErr()
 }
