@@ -10,6 +10,9 @@
 //	localserved [-addr host:port] [-parallel N] [-workers N]
 //	            [-corpus-limit N] [-cache N] [-max-inflight N] [-queue N]
 //	            [-timeout D] [-drain-timeout D] [-fault exit-after=N]
+//	            [-spool dir] [-job-workers N] [-job-shards N] [-job-rate F]
+//	            [-job-burst N] [-job-max-per-client N]
+//	            [-fault exit-after-shard=N]
 //
 // Endpoints:
 //
@@ -18,16 +21,35 @@
 //	GET  /metrics                     JSON counters (jobs/sec, engine
 //	                                  allocs, corpus + cache stats, gauges)
 //
-// On SIGTERM/SIGINT the server drains gracefully: /healthz flips to 503, new
-// runs are refused, requests already admitted finish (up to -drain-timeout),
-// then the process exits 0. CI's server smoke job exercises exactly this
-// lifecycle.
+// With -spool the durable async job API (internal/job, DESIGN.md §2.10) is
+// mounted as well:
 //
-// -fault exit-after=N is the chaos-testing escape hatch: the process dies
-// (exit 3, no response) the moment the Nth /run request arrives, simulating
-// a replica crash mid-sweep at a deterministic point. CI's fabric-chaos job
-// runs one replica with it and requires the fabric coordinator to reproduce
-// the single-process document anyway.
+//	POST   /jobs?seed=N               submit a spec; 202 + job ID at once
+//	GET    /jobs                      list jobs + job-manager metrics
+//	GET    /jobs/{id}                 one job's status
+//	GET    /jobs/{id}/events          SSE per-slot/per-shard progress stream
+//	GET    /jobs/{id}/result?format=  stored document once done (md | json)
+//	DELETE /jobs/{id}                 cancel
+//
+// Jobs are journaled to the spool before they are acknowledged and
+// checkpointed at shard boundaries, so killing the process — even with
+// SIGKILL — loses at most the shard in flight: on restart with the same
+// -spool the journal replays, unfinished jobs resume from their last
+// checkpoint, and the recovered documents are byte-identical to an
+// uninterrupted run (CI's job-durability gate asserts exactly this).
+//
+// On SIGTERM/SIGINT the server drains gracefully: /healthz flips to 503, new
+// runs and submissions are refused, running jobs checkpoint at their next
+// shard boundary, open SSE streams flush a terminal drained event, requests
+// already admitted finish (up to -drain-timeout), then the process exits 0.
+// CI's server smoke job exercises exactly this lifecycle.
+//
+// -fault is the chaos-testing escape hatch: exit-after=N dies (exit 3, no
+// response) the moment the Nth /run request arrives, simulating a replica
+// crash mid-sweep at a deterministic point (CI's fabric-chaos job);
+// exit-after-shard=N dies the moment the job subsystem journals its Nth
+// shard checkpoint, simulating a crash mid-execution at a deterministic
+// resume boundary (CI's job-durability gate).
 package main
 
 import (
@@ -46,6 +68,7 @@ import (
 	"time"
 
 	"github.com/unilocal/unilocal/internal/cliutil"
+	"github.com/unilocal/unilocal/internal/job"
 	"github.com/unilocal/unilocal/internal/serve"
 )
 
@@ -63,7 +86,14 @@ var (
 	flagMaxNodes    = flag.Int("max-nodes", serve.DefaultMaxNodes, "max estimated graph nodes per request (<0 = unbounded)")
 	flagMaxEdges    = flag.Int("max-edges", serve.DefaultMaxEdges, "max estimated graph edges per request (<0 = unbounded)")
 	flagMaxJobs     = flag.Int("max-jobs", serve.DefaultMaxJobs, "max expanded jobs per request (<0 = unbounded)")
-	flagFault       = flag.String("fault", "", "chaos-test fault mode: exit-after=N crashes the process (exit 3) on the Nth /run request, before responding")
+	flagFault       = flag.String("fault", "", "chaos-test fault mode: exit-after=N crashes the process (exit 3) on the Nth /run request, before responding; exit-after-shard=N crashes on the Nth journaled job shard checkpoint")
+
+	flagSpool        = flag.String("spool", "", "job spool directory; enables the durable async job API at /jobs")
+	flagJobWorkers   = flag.Int("job-workers", 0, "concurrent async job executions (0 = default)")
+	flagJobShards    = flag.Int("job-shards", 0, "shard checkpoints per job — the crash-resume granularity (0 = default, <0 = one)")
+	flagJobRate      = flag.Float64("job-rate", 0, "per-client job submissions per second (0 = default, <0 = unlimited)")
+	flagJobBurst     = flag.Int("job-burst", 0, "per-client submission burst size (0 = default)")
+	flagJobPerClient = flag.Int("job-max-per-client", 0, "max queued+running jobs per client (0 = default, <0 = unbounded)")
 )
 
 func main() {
@@ -92,7 +122,46 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 		MaxEdges:      *flagMaxEdges,
 		MaxJobs:       *flagMaxJobs,
 	})
-	handler, err := faultWrap(*flagFault, s)
+	fault, shardFault, err := splitFault(*flagFault)
+	if err != nil {
+		return err
+	}
+
+	var base http.Handler = s
+	var jobs *job.Manager
+	if *flagSpool != "" {
+		jobs, err = job.New(job.Config{
+			Dir:          *flagSpool,
+			Exec:         s.ShardExecutor(),
+			Terminal:     serve.TerminalError,
+			CheckSpec:    s.CheckSpec,
+			Workers:      *flagJobWorkers,
+			ShardsPerJob: *flagJobShards,
+			Rate:         *flagJobRate,
+			Burst:        *flagJobBurst,
+			MaxPerClient: *flagJobPerClient,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "localserved: "+format+"\n", args...)
+			},
+			CrashAfterShards: shardFault,
+			Crash: func() {
+				crash(fmt.Sprintf("exit-after-shard=%d tripped", shardFault))
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("opening spool: %w", err)
+		}
+		api := job.NewAPI(jobs, s.Draining)
+		mux := http.NewServeMux()
+		mux.Handle("/jobs", api)
+		mux.Handle("/jobs/", api)
+		mux.Handle("/", s)
+		base = mux
+		fmt.Fprintf(os.Stderr, "localserved: job spool at %s\n", *flagSpool)
+	} else if shardFault > 0 {
+		return errors.New("-fault exit-after-shard requires -spool")
+	}
+	handler, err := faultWrap(fault, base)
 	if err != nil {
 		return err
 	}
@@ -109,12 +178,21 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 	shutdownDone := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		// Drain: stop advertising health, refuse new runs, let admitted
-		// requests finish within the grace period.
+		// Drain: stop advertising health, refuse new runs and submissions,
+		// checkpoint running jobs at their next shard boundary and flush
+		// drained events to open SSE streams, then let admitted requests
+		// finish within the grace period. The job drain runs first — its
+		// drained events are what lets Shutdown's wait for open event
+		// streams terminate.
 		s.SetDraining(true)
 		fmt.Fprintln(os.Stderr, "localserved: draining")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *flagDrain)
 		defer cancel()
+		if jobs != nil {
+			if err := jobs.Drain(drainCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "localserved: job drain: %v\n", err)
+			}
+		}
 		shutdownDone <- httpSrv.Shutdown(drainCtx)
 	}()
 
@@ -137,6 +215,25 @@ func run(ctx context.Context, addr string, ready chan<- string) error {
 var crash = func(reason string) {
 	fmt.Fprintf(os.Stderr, "localserved: fault injected: %s\n", reason)
 	os.Exit(3)
+}
+
+// splitFault separates the -fault value into the HTTP request-count mode
+// (handled by faultWrap) and the job shard-checkpoint mode (handled by the
+// job manager's crash hook). The two modes are mutually exclusive — one
+// -fault flag, one fault.
+func splitFault(mode string) (httpMode string, shardFault int, err error) {
+	val, ok := strings.CutPrefix(mode, "exit-after-shard=")
+	if !ok {
+		return mode, 0, nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return "", 0, fmt.Errorf("-fault %q: %w", mode, err)
+	}
+	if err := cliutil.Positive("-fault exit-after-shard", n); err != nil {
+		return "", 0, err
+	}
+	return "", n, nil
 }
 
 // faultWrap applies the -fault chaos mode to the server handler. The only

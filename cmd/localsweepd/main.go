@@ -12,7 +12,7 @@
 //	            [-seed N] [-shards N] [-max-attempts N] [-retry-budget N]
 //	            [-backoff D] [-max-backoff D] [-timeout D] [-hedge D]
 //	            [-fail-threshold N] [-probe-interval D] [-fallback=false]
-//	            [-quiet]
+//	            [-quiet] [-status]
 //
 // Replica failures are survived, not reported as errors: a failed shard is
 // retried on another replica with jittered exponential backoff, a replica
@@ -58,6 +58,7 @@ var (
 	flagProbe     = flag.Duration("probe-interval", 0, "delay before an open breaker is probed via /healthz (0 = default)")
 	flagFallback  = flag.Bool("fallback", true, "execute shards in-process when no replica can take them")
 	flagQuiet     = flag.Bool("quiet", false, "suppress per-event supervision log lines on stderr")
+	flagStatus    = flag.Bool("status", false, "print one per-replica supervision summary line on stderr at sweep end")
 )
 
 func main() {
@@ -88,6 +89,7 @@ type sweepConfig struct {
 	ProbeInterval time.Duration
 	Fallback      bool
 	Quiet         bool
+	Status        bool
 }
 
 func fromFlags() sweepConfig {
@@ -107,6 +109,7 @@ func fromFlags() sweepConfig {
 		ProbeInterval: *flagProbe,
 		Fallback:      *flagFallback,
 		Quiet:         *flagQuiet,
+		Status:        *flagStatus,
 	}
 }
 
@@ -178,5 +181,20 @@ func sweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer) error
 		"localsweepd: %d scenarios, %d shard tasks over %d replicas: %d attempts, %d retries, %d hedges, %d fallbacks, %d probes, %d breaker opens\n",
 		len(specs), stats.Tasks, len(endpoints), stats.Attempts, stats.Retries,
 		stats.Hedges, stats.Fallbacks, stats.Probes, stats.BreakerOpens)
+	if cfg.Status {
+		writeStatus(stderr, stats)
+	}
 	return nil
+}
+
+// writeStatus prints the per-replica supervision summary -status asks for:
+// each replica's breaker position, consecutive-failure count and attempt
+// ledger, plus the sweep's retry spend against its budget.
+func writeStatus(stderr io.Writer, stats fabric.Stats) {
+	fmt.Fprintf(stderr, "localsweepd: status: retries %d/%d", stats.Retries, stats.RetryBudget)
+	for _, rep := range stats.Replicas {
+		fmt.Fprintf(stderr, " · %s breaker=%s fails=%d attempts=%d ok=%d err=%d",
+			rep.URL, rep.Breaker, rep.ConsecutiveFails, rep.Attempts, rep.Successes, rep.Failures)
+	}
+	fmt.Fprintln(stderr)
 }

@@ -165,3 +165,30 @@ func TestSweepConfigErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestSweepStatusLine: -status appends one per-replica supervision summary
+// line with breaker position and the attempt ledger.
+func TestSweepStatusLine(t *testing.T) {
+	dir := writeCorpus(t, sweepSpecLuby)
+	ts := httptest.NewServer(serve.New(serve.Config{}))
+	defer ts.Close()
+	cfg := sweepConfig{
+		Scenarios: dir,
+		Endpoints: ts.URL,
+		Exp:       "all",
+		Seed:      1,
+		Quiet:     true,
+		Status:    true,
+	}
+	var stdout, stderr bytes.Buffer
+	if err := sweep(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("sweep: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "localsweepd: status: retries 0/") {
+		t.Fatalf("missing status line: %s", out)
+	}
+	if !strings.Contains(out, ts.URL+" breaker=closed fails=0 attempts=1 ok=1 err=0") {
+		t.Fatalf("missing replica ledger: %s", out)
+	}
+}

@@ -26,5 +26,10 @@
 // served by the long-lived cmd/localserved service (internal/serve,
 // DESIGN.md §2.8): clients POST one spec each and receive the deterministic
 // document, with request cancellation threaded into the engine's round loop
-// and the graph corpus bounded by LRU eviction.
+// and the graph corpus bounded by LRU eviction. With -spool the service
+// additionally mounts the durable async job API (internal/job, DESIGN.md
+// §2.10): submissions are journaled to a crash-safe spool, executions
+// checkpoint at shard boundaries and resume across restarts — even after
+// SIGKILL — with byte-identical recovered documents, progress streams over
+// SSE, and duplicate submissions coalesce onto one execution.
 package unilocal

@@ -120,10 +120,27 @@ type Stats struct {
 	Tasks        int // shard tasks (spec × shard)
 	Attempts     int // HTTP attempts issued, hedges included
 	Retries      int // failed attempts that were retried or fell back
+	RetryBudget  int // the sweep-wide retry ceiling Retries counts against
 	Hedges       int // duplicate attempts issued for stragglers
 	Fallbacks    int // tasks completed by in-process execution
 	Probes       int // /healthz probes of open breakers
 	BreakerOpens int // closed/half-open → open transitions
+	// Replicas is each endpoint's supervision state at sweep end, in
+	// Config.Endpoints order — what cmd/localsweepd -status prints.
+	Replicas []ReplicaStatus
+}
+
+// ReplicaStatus is one replica's supervision state at sweep end: where its
+// circuit breaker finished, how close it sits to opening, and what its
+// attempts amounted to. Successes+Failures can undercount Attempts — an
+// attempt canceled by the drain or a lost hedge race scores neither.
+type ReplicaStatus struct {
+	URL              string `json:"url"`
+	Breaker          string `json:"breaker"` // closed | open | half-open
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Attempts         int    `json:"attempts"`
+	Successes        int    `json:"successes"`
+	Failures         int    `json:"failures"`
 }
 
 // Coordinator runs distributed sweeps. Create with New; Sweep may be called

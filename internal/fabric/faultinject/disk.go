@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrDiskFault is the error a Fail or FsyncError disk fault surfaces, so
+// tests can errors.Is for injected failures specifically.
+var ErrDiskFault = errors.New("faultinject: injected disk fault")
+
+// Disk op names, the Match key of a DiskRule.
+const (
+	OpAppend    = "append"
+	OpSync      = "sync"
+	OpWriteFile = "writefile"
+)
+
+// DiskRule is one disk fault with its firing condition — the disk-layer
+// sibling of Rule, sharing the same seeded decision machinery: Every fires
+// on every nth matching operation, Prob on a seeded per-operation dice roll,
+// and the same (seed, rules, operation sequence) produces the same faults.
+type DiskRule struct {
+	// Match selects operations by name (OpAppend, OpSync, OpWriteFile);
+	// empty matches every operation.
+	Match string
+	// Every fires the rule on every nth matching operation (1 = all). Prob
+	// fires it when the seeded dice land below the value. Neither set: never.
+	Every int
+	Prob  float64
+
+	// Fail fails the operation with ErrDiskFault before any bytes move — a
+	// full disk, a revoked handle.
+	Fail bool
+	// ShortWrite writes only the first half of the payload and then fails —
+	// the torn append a crash mid-write leaves behind. Only meaningful for
+	// OpAppend and OpWriteFile.
+	ShortWrite bool
+	// FsyncError performs the operation but fails the durability report —
+	// the write(2)-succeeded-fsync-failed case journals must treat as "the
+	// bytes may not be on disk". Only meaningful for OpSync.
+	FsyncError bool
+}
+
+// DiskStats counts injected disk faults.
+type DiskStats struct {
+	Ops         uint64 // operations seen
+	Fails       uint64
+	ShortWrites uint64
+	FsyncErrors uint64
+}
+
+// Disk applies DiskRules to a spool's durability hooks. Its Append, Sync
+// and WriteFile methods have exactly the signatures of job.Hooks, so wiring
+// is one field each:
+//
+//	d := &faultinject.Disk{Seed: 7, Rules: ...}
+//	hooks := job.Hooks{Append: d.Append, Sync: d.Sync, WriteFile: d.WriteFile}
+//
+// Safe for concurrent use.
+type Disk struct {
+	Seed  int64
+	Rules []DiskRule
+
+	mu       sync.Mutex
+	matched  []uint64
+	stats    DiskStats
+	disabled bool
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// SetDisabled turns injection off (true) or back on.
+func (d *Disk) SetDisabled(v bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.disabled = v
+}
+
+// decide returns the rule to apply to this operation, or -1. The decision
+// counter advances per matching operation, exactly like Transport.decide,
+// so a schedule is a pure function of (seed, rules, operation sequence).
+func (d *Disk) decide(op string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Ops++
+	if d.disabled {
+		return -1
+	}
+	if d.matched == nil {
+		d.matched = make([]uint64, len(d.Rules))
+	}
+	for i := range d.Rules {
+		r := &d.Rules[i]
+		if r.Match != "" && r.Match != op {
+			continue
+		}
+		k := d.matched[i]
+		d.matched[i]++
+		fire := false
+		if r.Every > 0 && (k+1)%uint64(r.Every) == 0 {
+			fire = true
+		}
+		if !fire && r.Prob > 0 && dice(d.Seed, i, k) < r.Prob {
+			fire = true
+		}
+		if fire {
+			switch {
+			case r.Fail:
+				d.stats.Fails++
+			case r.ShortWrite:
+				d.stats.ShortWrites++
+			case r.FsyncError:
+				d.stats.FsyncErrors++
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// Append is a job.Hooks.Append with faults.
+func (d *Disk) Append(f *os.File, p []byte) (int, error) {
+	ri := d.decide(OpAppend)
+	if ri >= 0 {
+		r := &d.Rules[ri]
+		switch {
+		case r.Fail:
+			return 0, fmt.Errorf("%w: append to %s", ErrDiskFault, f.Name())
+		case r.ShortWrite:
+			n, err := f.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("%w: short write to %s (%d of %d bytes)", ErrDiskFault, f.Name(), n, len(p))
+		}
+	}
+	return f.Write(p)
+}
+
+// Sync is a job.Hooks.Sync with faults.
+func (d *Disk) Sync(f *os.File) error {
+	ri := d.decide(OpSync)
+	if ri >= 0 {
+		r := &d.Rules[ri]
+		if r.Fail || r.FsyncError {
+			// FsyncError still performs the sync — the bytes probably made
+			// it — but reports failure, which is all a caller may assume
+			// after a real fsync error anyway.
+			if r.FsyncError {
+				f.Sync()
+			}
+			return fmt.Errorf("%w: fsync %s", ErrDiskFault, f.Name())
+		}
+	}
+	return f.Sync()
+}
+
+// WriteFile is a job.Hooks.WriteFile with faults.
+func (d *Disk) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	ri := d.decide(OpWriteFile)
+	if ri >= 0 {
+		r := &d.Rules[ri]
+		switch {
+		case r.Fail:
+			return fmt.Errorf("%w: writing %s", ErrDiskFault, name)
+		case r.ShortWrite:
+			// Leave the torn half on disk: the caller's atomic-rename
+			// protocol must never promote it.
+			os.WriteFile(name, data[:len(data)/2], perm)
+			return fmt.Errorf("%w: short write to %s", ErrDiskFault, name)
+		}
+	}
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -19,6 +19,19 @@ const (
 	breakerHalfOpen
 )
 
+// String renders the breaker position the way operators read it in the
+// -status summary.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // replica is the scheduler-owned state of one endpoint. Only the scheduler
 // goroutine touches it.
 type replica struct {
@@ -28,6 +41,24 @@ type replica struct {
 	busy    int // live attempts on this replica
 	probing bool
 	probeAt time.Time
+
+	// Cumulative supervision counters, exported as ReplicaStatus at sweep
+	// end (the scheduler owns them; no locking).
+	attempts  int
+	successes int
+	failures  int
+}
+
+// status snapshots the replica's supervision state.
+func (rep *replica) status() ReplicaStatus {
+	return ReplicaStatus{
+		URL:              rep.url,
+		Breaker:          rep.state.String(),
+		ConsecutiveFails: rep.fails,
+		Attempts:         rep.attempts,
+		Successes:        rep.successes,
+		Failures:         rep.failures,
+	}
 }
 
 // pick returns a replica able to take one attempt now, or nil. Closed
@@ -87,6 +118,7 @@ func (r *sweepRun) allOpen() bool {
 
 func (r *sweepRun) noteSuccess(rep *replica) {
 	rep.fails = 0
+	rep.successes++
 	if rep.state != breakerClosed {
 		r.c.logf("fabric: %s closed (recovered)", rep.url)
 		rep.state = breakerClosed
@@ -95,6 +127,7 @@ func (r *sweepRun) noteSuccess(rep *replica) {
 
 func (r *sweepRun) noteFailure(rep *replica) {
 	rep.fails++
+	rep.failures++
 	if rep.state == breakerHalfOpen || (rep.state == breakerClosed && rep.fails >= r.c.cfg.FailureThreshold) {
 		rep.state = breakerOpen
 		rep.probeAt = time.Now().Add(r.c.cfg.ProbeInterval)

@@ -188,6 +188,10 @@ func (r *sweepRun) loop(ctx context.Context) error {
 		<-r.events
 		r.outstanding--
 	}
+	r.stats.RetryBudget = r.budget
+	for _, rep := range r.reps {
+		r.stats.Replicas = append(r.stats.Replicas, rep.status())
+	}
 	return r.err
 }
 
@@ -241,6 +245,7 @@ func (r *sweepRun) launch(ctx context.Context, t *task, rep *replica) {
 	t.inflight++
 	t.phase = taskInflight
 	rep.busy++
+	rep.attempts++
 	r.outstanding++
 	r.stats.Attempts++
 	go func() {

@@ -1,0 +1,84 @@
+package job
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaError is a refusal the client can retry after backing off: a drained
+// token bucket or a full per-client queue. The HTTP layer maps it to 429
+// with a Retry-After header.
+type QuotaError struct {
+	Reason     string
+	RetryAfter int // seconds
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("job: %s (retry after %ds)", e.Reason, e.RetryAfter)
+}
+
+// quotas is the per-client token-bucket rate limiter for job submissions.
+// Buckets refill at rate tokens/second up to burst; a submission costs one
+// token. Coalesced duplicates are not charged — they commission no work —
+// so only genuinely new executions drain a client's bucket.
+type quotas struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int, now func() time.Time) *quotas {
+	return &quotas{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow charges one token from client's bucket, or returns the QuotaError to
+// answer with. A nil receiver (rate limiting disabled) allows everything.
+func (q *quotas) allow(client string) error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, ok := q.buckets[client]
+	if !ok {
+		q.prune(now)
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens < 1 {
+		wait := int(math.Ceil((1 - b.tokens) / q.rate))
+		if wait < 1 {
+			wait = 1
+		}
+		return &QuotaError{Reason: fmt.Sprintf("client %q over submission rate %.3g/s", client, q.rate), RetryAfter: wait}
+	}
+	b.tokens--
+	return nil
+}
+
+// prune drops buckets that have refilled to burst — indistinguishable from
+// absent — bounding the map against client-ID churn. Called with q.mu held,
+// only on the new-client path, so steady-state submissions never pay for it.
+func (q *quotas) prune(now time.Time) {
+	if len(q.buckets) < 1024 {
+		return
+	}
+	for c, b := range q.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.buckets, c)
+		}
+	}
+}

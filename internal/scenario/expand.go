@@ -209,6 +209,43 @@ func Render(w io.Writer, b *Batch, results []sweep.Result) error {
 	return t.Write(w)
 }
 
+// SlotsDoc rebuilds the serving layer's scrubbed benchfmt document for one
+// plan from slot outcomes alone — no batch, no results, no graph. Every
+// field it writes is a pure function of (plan, graph header, outcomes), so a
+// document reassembled from journaled shard checkpoints after a crash is
+// byte-identical to the one serve.DeterministicDoc renders for an
+// uninterrupted synchronous run of the same spec (a serve test pins the two
+// paths together). Wall times, allocation counters and parallelism are zero
+// by construction, exactly as DeterministicDoc scrubs them.
+func SlotsDoc(p *Plan, info GraphInfo, slots []SlotOutcome, seed int64) (*benchfmt.Doc, error) {
+	if len(slots) != len(p.Metas) {
+		return nil, fmt.Errorf("scenario %s: %d slot outcomes for %d jobs", p.Spec.Name, len(slots), len(p.Metas))
+	}
+	records := make([]benchfmt.Record, 0, len(p.Metas))
+	for i := range p.Metas {
+		m := &p.Metas[i]
+		rec := benchfmt.Record{
+			Experiment: p.Spec.Name,
+			Label:      fmt.Sprintf("%s/seed=%d/rep=%d", m.Role, m.Seed, m.Rep),
+			Algorithm:  m.Algo.String(),
+			N:          info.N,
+			Rounds:     slots[i].Rounds,
+			Messages:   slots[i].Messages,
+		}
+		if m.RatioOf >= 0 {
+			rec.Ratio = float64(slots[i].Rounds) / float64(slots[m.RatioOf].Rounds)
+		}
+		records = append(records, rec)
+	}
+	return &benchfmt.Doc{
+		SchemaVersion: benchfmt.SchemaVersion,
+		GeneratedBy:   "cmd/localserved",
+		Seed:          seed,
+		Sweep:         benchfmt.SweepStats{Jobs: len(slots)},
+		Results:       records,
+	}, nil
+}
+
 // Doc assembles the benchfmt document for a completed batch: one record per
 // job in batch order (Experiment = scenario name), plus the sweep throughput
 // block. Unlike Render it does not re-validate outputs; run Render first (or

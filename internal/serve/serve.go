@@ -204,6 +204,13 @@ type ExecOptions struct {
 	EngineWorkers int
 	// Context cancels the batch mid-run; nil runs to completion.
 	Context context.Context
+	// OnSlot, when non-nil, receives each successfully completed slot's
+	// deterministic outcome the moment it lands — the progress feed the
+	// async job API streams over SSE. Slot indices are global grid slots
+	// (identical for sharded and whole-grid execution). Callbacks arrive
+	// from sweep workers concurrently and must be safe for concurrent use;
+	// failed or canceled slots do not report.
+	OnSlot func(out scenario.SlotOutcome)
 }
 
 // Outcome is a completed execution: the expanded batch, its results and
@@ -238,6 +245,7 @@ func Execute(specs []*scenario.Spec, opts ExecOptions) (*Outcome, error) {
 		Parallel:      opts.Parallel,
 		EngineWorkers: opts.EngineWorkers,
 		Context:       opts.Context,
+		OnResult:      slotReporter(opts.OnSlot, nil),
 	})
 	var buf bytes.Buffer
 	if err := scenario.Render(&buf, batch, results); err != nil {
@@ -737,4 +745,44 @@ func writeResponse(w http.ResponseWriter, contentType, cache string, body []byte
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf("localserved: "+format, args...), status)
+}
+
+// CheckSpec applies the server's per-request work bounds (max nodes, edges,
+// expanded jobs) to a whole-grid spec — the same admission gate handleRun
+// runs — so the async job API refuses oversized work with the same errors
+// and before expansion builds anything.
+func (s *Server) CheckSpec(spec *scenario.Spec) error { return s.checkLimits(spec, nil) }
+
+// TerminalError reports whether an execution error is deterministic — the
+// identical request would fail identically on any replica, any retry, any
+// restart: a bad spec (ErrSpec) or a max_rounds expiry. Retry machinery
+// (the fabric coordinator, the job manager's crash recovery) must not burn
+// attempts on these; everything else is worth re-running.
+func TerminalError(err error) bool {
+	return errors.Is(err, ErrSpec) || errors.Is(err, local.ErrMaxRounds)
+}
+
+// ShardExecutor returns the shard-wise execution function the async job
+// manager checkpoints around: one call runs one shard of one spec's grid on
+// this server's corpus and sweep configuration, reports per-slot progress
+// through onSlot, and returns the deterministic graph header and slot
+// outcomes — exactly the fields a journal checkpoint persists. Executions
+// feed the server's /metrics throughput counters like synchronous requests
+// do.
+func (s *Server) ShardExecutor() func(ctx context.Context, spec *scenario.Spec, seed int64, shard scenario.Shard, onSlot func(scenario.SlotOutcome)) (scenario.GraphInfo, []scenario.SlotOutcome, error) {
+	return func(ctx context.Context, spec *scenario.Spec, seed int64, shard scenario.Shard, onSlot func(scenario.SlotOutcome)) (scenario.GraphInfo, []scenario.SlotOutcome, error) {
+		doc, stats, err := ExecuteShard(spec, shard, ExecOptions{
+			Corpus:        s.corpus,
+			SeedOffset:    seed - 1,
+			Parallel:      s.cfg.Parallel,
+			EngineWorkers: s.cfg.EngineWorkers,
+			Context:       ctx,
+			OnSlot:        onSlot,
+		})
+		s.recordStats(stats)
+		if err != nil {
+			return scenario.GraphInfo{}, nil, err
+		}
+		return doc.Graph, doc.Slots, nil
+	}
 }

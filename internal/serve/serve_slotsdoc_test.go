@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/scenario"
+)
+
+// TestSlotsDocMatchesDeterministicDoc pins the crash-recovery JSON path to
+// the synchronous serving path: a document reassembled from shard slot
+// outcomes via scenario.SlotsDoc (what the job manager writes to its spool
+// after a resume) must be byte-identical to the DeterministicDoc the server
+// renders for an uninterrupted whole-grid run of the same spec. If either
+// side gains or scrubs a field, this fails before the job-durability CI gate
+// does.
+func TestSlotsDocMatchesDeterministicDoc(t *testing.T) {
+	spec, err := scenario.Parse(shardTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = int64(3)
+	plan, err := scenario.PlanOf(spec, seed-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-grid path, exactly as POST /run?format=json renders it.
+	out, err := Execute([]*scenario.Spec{spec}, ExecOptions{SeedOffset: seed - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDoc, err := DeterministicDoc(out, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(fullDoc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded path, exactly as the job manager executes and reassembles.
+	exec := New(Config{}).ShardExecutor()
+	const shards = 3
+	slots := make([]scenario.SlotOutcome, plan.Jobs())
+	filled := make([]bool, plan.Jobs())
+	var info scenario.GraphInfo
+	for i := 0; i < shards; i++ {
+		gi, outs, err := exec(context.Background(), spec, seed, scenario.Shard{Index: i, Count: shards}, nil)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if i == 0 {
+			info = gi
+		} else if gi != info {
+			t.Fatalf("shard %d graph %+v != shard 0 graph %+v", i, gi, info)
+		}
+		for _, so := range outs {
+			if filled[so.Slot] {
+				t.Fatalf("slot %d delivered twice", so.Slot)
+			}
+			filled[so.Slot] = true
+			slots[so.Slot] = so
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			t.Fatalf("slot %d never delivered", i)
+		}
+	}
+	slotsDoc, err := scenario.SlotsDoc(plan, info, slots, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(slotsDoc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("SlotsDoc diverges from DeterministicDoc:\n got: %s\nwant: %s", got, want)
+	}
+}

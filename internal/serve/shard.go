@@ -68,6 +68,27 @@ func (d *ShardDoc) Validate(specName string, seed int64, shard scenario.Shard, j
 	return nil
 }
 
+// slotReporter adapts an ExecOptions.OnSlot callback to sweep's OnResult
+// hook. slots maps the executed batch's job index to its global grid slot;
+// nil means identity (whole-grid execution). Failed and canceled slots are
+// not reported — a progress stream only ever sees outcomes that will appear
+// in the final document.
+func slotReporter(onSlot func(scenario.SlotOutcome), slots []int) func(int, sweep.Result) {
+	if onSlot == nil {
+		return nil
+	}
+	return func(i int, r sweep.Result) {
+		if r.Err != nil || r.Res == nil {
+			return
+		}
+		slot := i
+		if slots != nil {
+			slot = slots[i]
+		}
+		onSlot(scenario.SlotOutcome{Slot: slot, Rounds: r.Res.Rounds, Messages: r.Res.Messages})
+	}
+}
+
 // ExecuteShard expands one spec's full job grid, runs only the slots the
 // shard owns, validates their outputs and returns the shard document.
 // Expansion still builds the whole graph — slots share it — but simulation
@@ -99,6 +120,7 @@ func ExecuteShard(spec *scenario.Spec, shard scenario.Shard, opts ExecOptions) (
 		Parallel:      opts.Parallel,
 		EngineWorkers: opts.EngineWorkers,
 		Context:       opts.Context,
+		OnResult:      slotReporter(opts.OnSlot, slots),
 	})
 	if err := res.FirstErr(); err != nil {
 		slot := slots[res.FirstIncomplete()]

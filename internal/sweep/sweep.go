@@ -115,6 +115,15 @@ type Options struct {
 	// which prefix of work is trustworthy. nil means run the batch to
 	// completion.
 	Context context.Context
+	// OnResult, when non-nil, is invoked once per job right after its result
+	// lands at results[i] — the progress hook the serving layer's SSE streams
+	// feed from. It is called from scheduler workers, concurrently with other
+	// jobs' callbacks, so it must be safe for concurrent use and should be
+	// cheap (it runs on the worker's critical path). Only jobs a worker
+	// actually finished report — including jobs interrupted mid-run by a
+	// fired context — slots stamped with ErrCanceled after the drain because
+	// they never started do not.
+	OnResult func(i int, r Result)
 }
 
 // Results is a batch's outcomes in job order. The helper methods are the
@@ -244,6 +253,9 @@ func Run(jobs []Job, opts Options) (Results, Stats) {
 				Err:    err,
 				Wall:   time.Since(t0),
 				Allocs: st.Allocs() - before,
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(i, results[i])
 			}
 		}
 	}
