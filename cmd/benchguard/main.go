@@ -108,6 +108,16 @@ func checkDeterministic(old, fresh *benchfmt.Doc) error {
 	if len(old.Results) != len(fresh.Results) {
 		return fmt.Errorf("record count changed: %d vs %d", len(old.Results), len(fresh.Results))
 	}
+	if (old.Corpus == nil) != (fresh.Corpus == nil) {
+		return fmt.Errorf("corpus block present in one file only (old %v, new %v): regenerate both with the same localbench",
+			old.Corpus != nil, fresh.Corpus != nil)
+	}
+	if o, n := old.Corpus, fresh.Corpus; o != nil {
+		if o.Family != n.Family || o.N != n.N || o.Edges != n.Edges || o.ImageBytes != n.ImageBytes {
+			return fmt.Errorf("corpus block deterministic fields diverged: %s/n=%d/edges=%d/image=%dB vs %s/n=%d/edges=%d/image=%dB",
+				o.Family, o.N, o.Edges, o.ImageBytes, n.Family, n.N, n.Edges, n.ImageBytes)
+		}
+	}
 	for i := range old.Results {
 		o, n := old.Results[i], fresh.Results[i]
 		if o.Experiment != n.Experiment || o.Label != n.Label || o.Algorithm != n.Algorithm || o.N != n.N {
@@ -187,6 +197,10 @@ func checkTimings(old, fresh *benchfmt.Doc) error {
 		}
 		fmt.Printf("| %s | %.1f | %.1f | %+.1f%% | %s |\n",
 			exp, float64(o)/1e6, float64(n)/1e6, 100*delta, pinned)
+	}
+	if o, n := old.Corpus, fresh.Corpus; o != nil && n != nil && o.WarmNs > 0 && n.WarmNs > 0 {
+		fmt.Printf("corpus disk tier: cold/warm %.1fx → %.1fx (%s n=%d, image %d bytes)\n",
+			o.Speedup, n.Speedup, n.Family, n.N, n.ImageBytes)
 	}
 	if old.Sweep.JobsPerSec > 0 && fresh.Sweep.JobsPerSec > 0 {
 		delta := fresh.Sweep.JobsPerSec/old.Sweep.JobsPerSec - 1

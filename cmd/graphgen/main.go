@@ -15,7 +15,16 @@
 //	graphgen -family smallworld -n 256 -k 6 -beta 0.1
 //	graphgen -family geometric -n 256 -r 0.08
 //	graphgen -family ba -n 512 -k 3
+//	graphgen -family geometric -n 512 -r 0.07 -seed 2 -store /shared/corpus
 //	graphgen -families
+//
+// With -store the built graph's CSR image is written into the given
+// content-addressed store directory (the same format localserved and
+// localsweepd consume via -corpus-dir), making graphgen the fleet
+// pre-warming tool: generate once here, every replica mmap-loads. The store
+// listing — image hash, node/edge counts, bytes — is printed after the
+// build; a graph whose image already exists is loaded from it instead of
+// regenerated.
 package main
 
 import (
@@ -38,6 +47,7 @@ var (
 	flagSeed   = flag.Int64("seed", 1, "generator seed")
 	flagDot    = flag.Bool("dot", false, "emit Graphviz DOT to stdout")
 	flagList   = flag.Bool("families", false, "list the family table and exit")
+	flagStore  = flag.String("store", "", "CSR image store directory: write the built graph's content-addressed image into it (pre-warming for localserved/localsweepd -corpus-dir fleets) and list the store's images")
 )
 
 func main() {
@@ -53,7 +63,19 @@ func run() error {
 		fmt.Print(scenario.FamilyTable())
 		return nil
 	}
-	g, err := toSpec().Build(graph.NewCorpus())
+	corpus := graph.NewCorpus()
+	var store *graph.Store
+	if *flagStore != "" {
+		var err error
+		store, err = graph.OpenStore(*flagStore)
+		if err != nil {
+			return err
+		}
+		// With the store attached, building through the corpus persists the
+		// graph's CSR image (or loads an existing one) as a side effect.
+		corpus.AttachStore(store)
+	}
+	g, err := toSpec().Build(corpus)
 	if err != nil {
 		return err
 	}
@@ -63,6 +85,17 @@ func run() error {
 		*flagFamily, g.N(), g.NumEdges(), g.MaxDegree(), g.MaxIDValue(), lo, hi, comps)
 	if g.N() <= 2048 {
 		fmt.Fprintf(os.Stderr, "diameter=%d degeneracy=%d\n", graph.Diameter(g), deg(g))
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "store=%s written=%d disk-hits=%d\n", *flagStore, st.Written, st.Hits)
+		images, err := store.Images()
+		if err != nil {
+			return err
+		}
+		for _, img := range images {
+			fmt.Fprintf(os.Stderr, "image %s nodes=%d edges=%d bytes=%d\n", img.Name, img.Nodes, img.Edges, img.Bytes)
+		}
 	}
 	if *flagDot {
 		emitDOT(g)

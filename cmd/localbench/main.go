@@ -7,10 +7,10 @@
 // Usage:
 //
 //	localbench [-exp all|E1|E2|E3|E4|E6|E7|E8|E9|E10|E13] [-seed N] [-large]
-//	           [-parallel N] [-workers N] [-json path]
+//	           [-parallel N] [-workers N] [-json path] [-corpus-dir dir]
 //	           [-cpuprofile path] [-memprofile path]
 //	localbench -scenarios dir [-exp name] [-seed N] [-parallel N]
-//	           [-workers N] [-json path] [...]
+//	           [-workers N] [-json path] [-corpus-dir dir] [...]
 //
 // With -scenarios, the hard-coded experiment set is replaced by the
 // declarative corpus in the given directory (see internal/scenario and the
@@ -30,12 +30,22 @@
 // therefore byte-identical for every -parallel and -workers value; only the
 // wall-clock changes.
 //
+// With -corpus-dir, the graph corpus is backed by the content-addressed CSR
+// image store in that directory (the same format cmd/graphgen -store writes
+// and localserved/localsweepd consume): graphs whose image exists load from
+// disk instead of regenerating, and freshly generated graphs persist their
+// image for the next run or replica. The output is byte-identical either
+// way — the store only changes where the CSR bytes come from.
+//
 // With -json, a machine-readable result set (schema documented in
 // EXPERIMENTS.md) is additionally written to the given path; the committed
 // BENCH.json at the repo root tracks the perf trajectory across PRs and is
-// guarded by cmd/benchguard in CI. The profile flags capture standard pprof
-// profiles of the whole run, so hot-path regressions can be diagnosed
-// without editing code.
+// guarded by cmd/benchguard in CI. In experiment mode the document includes
+// the corpus cold/warm block: the largest committed family generated from
+// scratch versus loaded from its CSR image (see internal/benchfmt
+// .CorpusBench), measured in -corpus-dir when set or a throwaway store
+// otherwise. The profile flags capture standard pprof profiles of the whole
+// run, so hot-path regressions can be diagnosed without editing code.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"github.com/unilocal/unilocal/internal/algorithms/luby"
 	"github.com/unilocal/unilocal/internal/benchfmt"
@@ -74,6 +85,7 @@ var (
 	flagParallel = flag.Int("parallel", 1, "simulations in flight (0 = GOMAXPROCS); output is byte-identical for any value")
 	flagWorkers  = flag.Int("workers", 0, "engine worker count per simulation (0 = auto, 1 = sequential)")
 	flagJSON     = flag.String("json", "", "write machine-readable results to this path")
+	flagCorpus   = flag.String("corpus-dir", "", "content-addressed CSR image store directory backing the graph corpus (shared with graphgen -store and localserved -corpus-dir)")
 	flagCPU      = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flagMem      = flag.String("memprofile", "", "write a heap profile to this path")
 )
@@ -195,6 +207,13 @@ func run() error {
 	order := []string{"E1", "E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10", "E13"}
 	want := strings.ToUpper(*flagExp)
 	p := newPlan()
+	if *flagCorpus != "" {
+		store, err := graph.OpenStore(*flagCorpus)
+		if err != nil {
+			return err
+		}
+		p.corpus.AttachStore(store)
+	}
 	ran := false
 	for _, id := range order {
 		if want != "ALL" && want != id {
@@ -269,7 +288,16 @@ func runScenarios() error {
 		}
 		specs = keep
 	}
+	corpus := graph.NewCorpus()
+	if *flagCorpus != "" {
+		store, err := graph.OpenStore(*flagCorpus)
+		if err != nil {
+			return err
+		}
+		corpus.AttachStore(store)
+	}
 	out, err := serve.Execute(specs, serve.ExecOptions{
+		Corpus:        corpus,
 		SeedOffset:    *flagSeed - 1,
 		Parallel:      *flagParallel,
 		EngineWorkers: *flagWorkers,
@@ -322,6 +350,10 @@ func writeJSON(path string, p *plan, stats sweep.Stats) error {
 		}
 		collected = append(collected, rec)
 	}
+	cb, err := corpusBench()
+	if err != nil {
+		return fmt.Errorf("corpus bench: %w", err)
+	}
 	doc := benchfmt.Doc{
 		SchemaVersion: benchfmt.SchemaVersion,
 		GeneratedBy:   "cmd/localbench",
@@ -336,6 +368,7 @@ func writeJSON(path string, p *plan, stats sweep.Stats) error {
 			JobsPerSec:   stats.JobsPerSec,
 			EngineAllocs: stats.EngineAllocs,
 		},
+		Corpus:  cb,
 		Results: collected,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -343,6 +376,71 @@ func writeJSON(path string, p *plan, stats sweep.Stats) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// corpusBench measures the disk tier on the largest committed family (E8's
+// gnp at n=16384): cold is a fresh generation through a store-less corpus,
+// warm is a second corpus loading the CSR image a store-attached build
+// persisted. The image lands in -corpus-dir when set (pre-warming the shared
+// store as a side effect), otherwise in a throwaway directory. Family, n,
+// edge count and image size are deterministic and guarded by benchguard; the
+// wall times record the machine's cold/warm ratio.
+func corpusBench() (*benchfmt.CorpusBench, error) {
+	const n = 16384
+	p, seed := 8/float64(n-1), int64(n)
+	dir := *flagCorpus
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "localbench-corpus-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := graph.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Ensure the image exists: build once through the store (a pre-warmed
+	// -corpus-dir makes this itself a disk hit).
+	warmer := graph.NewCorpus()
+	warmer.AttachStore(store)
+	if _, err := warmer.GNP(n, p, seed); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	g, err := graph.NewCorpus().GNP(n, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	coldNs := time.Since(start).Nanoseconds()
+
+	loader := graph.NewCorpus()
+	loader.AttachStore(store)
+	start = time.Now()
+	if _, err := loader.GNP(n, p, seed); err != nil {
+		return nil, err
+	}
+	warmNs := time.Since(start).Nanoseconds()
+
+	cb := &benchfmt.CorpusBench{
+		Family: "gnp", N: n, Edges: g.NumEdges(),
+		ColdNs: coldNs, WarmNs: warmNs,
+	}
+	if warmNs > 0 {
+		cb.Speedup = float64(coldNs) / float64(warmNs)
+	}
+	images, err := store.Images()
+	if err != nil {
+		return nil, err
+	}
+	for _, img := range images {
+		if img.Nodes == int64(n) && img.Edges == int64(cb.Edges) {
+			cb.ImageBytes = img.Bytes
+		}
+	}
+	return cb, nil
 }
 
 func sizes(small []int, large []int) []int {

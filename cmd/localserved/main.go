@@ -8,7 +8,8 @@
 // Usage:
 //
 //	localserved [-addr host:port] [-parallel N] [-workers N]
-//	            [-corpus-limit N] [-cache N] [-max-inflight N] [-queue N]
+//	            [-corpus-limit N] [-corpus-dir dir] [-corpus-mem BYTES]
+//	            [-cache N] [-max-inflight N] [-queue N]
 //	            [-timeout D] [-drain-timeout D] [-fault exit-after=N]
 //	            [-spool dir] [-job-workers N] [-job-shards N] [-job-rate F]
 //	            [-job-burst N] [-job-max-per-client N]
@@ -37,6 +38,17 @@
 // -spool the journal replays, unfinished jobs resume from their last
 // checkpoint, and the recovered documents are byte-identical to an
 // uninterrupted run (CI's job-durability gate asserts exactly this).
+//
+// With -corpus-dir the graph corpus is backed by a content-addressed on-disk
+// store of built CSR images (DESIGN.md §2.11): a replica fleet sharing the
+// directory builds each (family, params, seed) graph once — every other
+// replica mmaps the image instead of regenerating — and a restarted process
+// warm-starts from disk. -corpus-mem bounds the corpus's in-heap graph
+// bytes; with a store attached, evicted graphs reload from disk, so a small
+// budget serves graphs far larger than itself. /metrics gains disk-tier
+// counters (disk hits/misses, images written, bytes mapped). Documents are
+// byte-identical whether a graph came from memory, disk, or fresh
+// generation.
 //
 // On SIGTERM/SIGINT the server drains gracefully: /healthz flips to 503, new
 // runs and submissions are refused, running jobs checkpoint at their next
@@ -68,6 +80,7 @@ import (
 	"time"
 
 	"github.com/unilocal/unilocal/internal/cliutil"
+	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/job"
 	"github.com/unilocal/unilocal/internal/serve"
 )
@@ -77,6 +90,8 @@ var (
 	flagParallel    = flag.Int("parallel", 0, "simulations in flight per request (0 = GOMAXPROCS); responses are byte-identical for any value")
 	flagWorkers     = flag.Int("workers", 0, "engine worker count per simulation (0 = auto)")
 	flagCorpus      = flag.Int("corpus-limit", serve.DefaultCorpusLimit, "max cached graphs, LRU-evicted (<0 = unbounded)")
+	flagCorpusDir   = flag.String("corpus-dir", "", "content-addressed CSR image store directory; replicas sharing it build each graph once and restarts warm-start from disk")
+	flagCorpusMem   = flag.Int64("corpus-mem", 0, "max estimated in-heap graph bytes in the corpus, LRU-evicted (0 = unbounded); with -corpus-dir, evicted graphs reload from disk")
 	flagCache       = flag.Int("cache", serve.DefaultCacheSize, "max cached responses (<0 = disable)")
 	flagInFlight    = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
 	flagQueue       = flag.Int("queue", serve.DefaultQueueDepth, "max requests waiting for a slot before 429 (<0 = none)")
@@ -109,18 +124,29 @@ func main() {
 // run serves until ctx is canceled, then drains. When ready is non-nil the
 // bound address is sent on it once the listener is up (tests bind port 0).
 func run(ctx context.Context, addr string, ready chan<- string) error {
+	var store *graph.Store
+	if *flagCorpusDir != "" {
+		var err error
+		store, err = graph.OpenStore(*flagCorpusDir)
+		if err != nil {
+			return fmt.Errorf("opening corpus store: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "localserved: corpus store at %s\n", *flagCorpusDir)
+	}
 	s := serve.New(serve.Config{
-		Parallel:      *flagParallel,
-		EngineWorkers: *flagWorkers,
-		CorpusLimit:   *flagCorpus,
-		CacheSize:     *flagCache,
-		MaxInFlight:   *flagInFlight,
-		QueueDepth:    *flagQueue,
-		Timeout:       *flagTimeout,
-		MaxBodyBytes:  *flagMaxBodySize,
-		MaxNodes:      *flagMaxNodes,
-		MaxEdges:      *flagMaxEdges,
-		MaxJobs:       *flagMaxJobs,
+		Parallel:       *flagParallel,
+		EngineWorkers:  *flagWorkers,
+		CorpusLimit:    *flagCorpus,
+		CorpusStore:    store,
+		CorpusMemBytes: *flagCorpusMem,
+		CacheSize:      *flagCache,
+		MaxInFlight:    *flagInFlight,
+		QueueDepth:     *flagQueue,
+		Timeout:        *flagTimeout,
+		MaxBodyBytes:   *flagMaxBodySize,
+		MaxNodes:       *flagMaxNodes,
+		MaxEdges:       *flagMaxEdges,
+		MaxJobs:        *flagMaxJobs,
 	})
 	fault, shardFault, err := splitFault(*flagFault)
 	if err != nil {

@@ -12,7 +12,7 @@
 //	            [-seed N] [-shards N] [-max-attempts N] [-retry-budget N]
 //	            [-backoff D] [-max-backoff D] [-timeout D] [-hedge D]
 //	            [-fail-threshold N] [-probe-interval D] [-fallback=false]
-//	            [-quiet] [-status]
+//	            [-corpus-dir dir] [-quiet] [-status]
 //
 // Replica failures are survived, not reported as errors: a failed shard is
 // retried on another replica with jittered exponential backoff, a replica
@@ -39,6 +39,7 @@ import (
 
 	"github.com/unilocal/unilocal/internal/cliutil"
 	"github.com/unilocal/unilocal/internal/fabric"
+	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/scenario"
 )
 
@@ -57,6 +58,7 @@ var (
 	flagThreshold = flag.Int("fail-threshold", 0, "consecutive failures that open a replica's circuit breaker (0 = default)")
 	flagProbe     = flag.Duration("probe-interval", 0, "delay before an open breaker is probed via /healthz (0 = default)")
 	flagFallback  = flag.Bool("fallback", true, "execute shards in-process when no replica can take them")
+	flagCorpusDir = flag.String("corpus-dir", "", "content-addressed CSR image store directory backing in-process fallback execution (share it with the replicas' -corpus-dir)")
 	flagQuiet     = flag.Bool("quiet", false, "suppress per-event supervision log lines on stderr")
 	flagStatus    = flag.Bool("status", false, "print one per-replica supervision summary line on stderr at sweep end")
 )
@@ -88,6 +90,7 @@ type sweepConfig struct {
 	FailThreshold int
 	ProbeInterval time.Duration
 	Fallback      bool
+	CorpusDir     string
 	Quiet         bool
 	Status        bool
 }
@@ -108,6 +111,7 @@ func fromFlags() sweepConfig {
 		FailThreshold: *flagThreshold,
 		ProbeInterval: *flagProbe,
 		Fallback:      *flagFallback,
+		CorpusDir:     *flagCorpusDir,
 		Quiet:         *flagQuiet,
 		Status:        *flagStatus,
 	}
@@ -151,6 +155,13 @@ func sweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer) error
 	if cfg.Quiet {
 		logf = nil
 	}
+	var store *graph.Store
+	if cfg.CorpusDir != "" {
+		store, err = graph.OpenStore(cfg.CorpusDir)
+		if err != nil {
+			return err
+		}
+	}
 	c, err := fabric.New(fabric.Config{
 		Endpoints:        endpoints,
 		Shards:           cfg.Shards,
@@ -165,6 +176,7 @@ func sweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer) error
 		ProbeInterval:    cfg.ProbeInterval,
 		Hedge:            cfg.Hedge,
 		Fallback:         cfg.Fallback,
+		CorpusStore:      store,
 		Logf:             logf,
 	})
 	if err != nil {

@@ -5,8 +5,10 @@
 // these types.
 package benchfmt
 
-// SchemaVersion is the current BENCH.json schema version.
-const SchemaVersion = 2
+// SchemaVersion is the current BENCH.json schema version. Version 3 added
+// the optional corpus cold/warm block (CorpusBench); version 2 switched
+// Allocs to the scheduler's per-worker counters.
+const SchemaVersion = 3
 
 // Record is one measured simulation.
 type Record struct {
@@ -38,6 +40,23 @@ type SweepStats struct {
 	EngineAllocs uint64  `json:"engine_allocs"`
 }
 
+// CorpusBench is the two-tier graph-corpus measurement: how long the
+// largest benchmarked family takes to generate from scratch (cold) versus
+// loading its content-addressed CSR image from the disk tier (warm,
+// mmap-backed where the platform supports it). Family, N, Edges and
+// ImageBytes are deterministic in the seed and guarded by cmd/benchguard;
+// the wall times track the disk tier's speedup across PRs but are
+// machine-dependent and never gated.
+type CorpusBench struct {
+	Family     string  `json:"family"`
+	N          int     `json:"n"`
+	Edges      int     `json:"edges"`
+	ImageBytes int64   `json:"image_bytes"`
+	ColdNs     int64   `json:"cold_ns"`
+	WarmNs     int64   `json:"warm_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // Doc is the top-level BENCH.json document.
 type Doc struct {
 	SchemaVersion int        `json:"schema_version"`
@@ -47,5 +66,8 @@ type Doc struct {
 	Workers       int        `json:"workers"`
 	Large         bool       `json:"large"`
 	Sweep         SweepStats `json:"sweep"`
-	Results       []Record   `json:"results"`
+	// Corpus is the disk-tier cold/warm measurement; absent when the run
+	// skipped it (schema ≤ 2 files, or -json without a measurable family).
+	Corpus  *CorpusBench `json:"corpus,omitempty"`
+	Results []Record     `json:"results"`
 }

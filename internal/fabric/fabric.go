@@ -109,6 +109,11 @@ type Config struct {
 	// FallbackParallel is the sweep parallelism of in-process fallback
 	// execution; 0 means GOMAXPROCS.
 	FallbackParallel int
+	// CorpusStore, when non-nil, backs the fallback corpus with the
+	// content-addressed CSR image store — graphs the replica fleet already
+	// built load from disk instead of regenerating when the coordinator has
+	// to execute shards in-process.
+	CorpusStore *graph.Store
 
 	// Logf, when non-nil, receives one line per notable supervision event
 	// (retry, breaker transition, hedge, fallback).
@@ -199,7 +204,11 @@ func New(cfg Config) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{cfg: cfg, client: client, corpus: graph.NewCorpus()}, nil
+	corpus := graph.NewCorpus()
+	if cfg.CorpusStore != nil {
+		corpus.AttachStore(cfg.CorpusStore)
+	}
+	return &Coordinator{cfg: cfg, client: client, corpus: corpus}, nil
 }
 
 // Sweep shards the specs across the replicas, rides out failures, and

@@ -31,18 +31,38 @@ import (
 // again, so they would otherwise be unreachable dead weight). An evicted
 // graph that is requested again is simply rebuilt — generators are
 // deterministic, so the rebuilt instance is structurally identical and
-// results stay byte-for-byte reproducible across evictions.
+// results stay byte-for-byte reproducible across evictions. SetMemLimit
+// adds an orthogonal byte-denominated bound over the entries' estimated
+// heap footprint, the bound that matters once individual graphs dwarf any
+// entry count.
+//
+// AttachStore adds the disk tier (DESIGN.md §2.11): generated-family misses
+// first try Store.Load (an mmap'ed image is near-free in both time and
+// heap), and fresh builds are persisted best-effort with Store.Save. The
+// memory LRU is unchanged by the store — an evicted entry that is requested
+// again reloads from disk instead of regenerating, and a corrupt or missing
+// image silently falls back to the generator. Derived constructions are not
+// stored: they are keyed by source-graph pointer, cheap relative to
+// generation, and reconstructible from a stored source.
 type Corpus struct {
 	mu      sync.Mutex
 	gen     map[CorpusKey]*corpusEntry
 	derived map[derivedKey]*corpusEntry
 	// limit caps len(gen)+len(derived); 0 means unbounded. lru orders all
 	// entries most recently used first (values are *corpusEntry).
-	limit     int
-	lru       *list.List
+	limit int
+	lru   *list.List
+	// memLimit bounds memBytes, the summed HeapBytes of built entries;
+	// 0 means unbounded. Guarded by mu like the maps.
+	memLimit  int64
+	memBytes  int64
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// store is the optional disk tier; atomic so Get's build closures read
+	// it without holding mu.
+	store atomic.Pointer[Store]
 }
 
 // CorpusStats is a point-in-time snapshot of a corpus's cache behaviour,
@@ -56,6 +76,13 @@ type CorpusStats struct {
 	// Entries is the current number of cached graphs; Limit is the bound (0
 	// means unbounded).
 	Entries, Limit int
+	// MemBytes is the estimated heap footprint of the cached graphs;
+	// MemLimit is the byte bound (0 means unbounded).
+	MemBytes, MemLimit int64
+	// DiskEnabled reports whether a store is attached; Disk is its counters
+	// (zero value when no store).
+	DiskEnabled bool
+	Disk        StoreStats
 }
 
 // CorpusKey identifies a generated graph: the family name, up to two integer
@@ -92,6 +119,10 @@ type corpusEntry struct {
 	// building (their graph pointer is not out yet, and removing them would
 	// duplicate an in-flight build for no memory gain).
 	built atomic.Bool
+	// bytes is the entry's estimated heap footprint, accounted into
+	// Corpus.memBytes when the build completes and out again on drop.
+	// Guarded by Corpus.mu.
+	bytes int64
 	// LRU bookkeeping, guarded by Corpus.mu. key/dkey identify the map slot
 	// to delete on eviction; isDerived selects which map.
 	elem      *list.Element
@@ -120,6 +151,25 @@ func NewBoundedCorpus(limit int) *Corpus {
 	}
 }
 
+// AttachStore connects the on-disk CSR image tier. Call once, before the
+// corpus starts serving; attaching mid-flight is safe (requests race to see
+// the store or not) but pointless.
+func (c *Corpus) AttachStore(s *Store) {
+	c.store.Store(s)
+}
+
+// SetMemLimit bounds the estimated heap bytes of cached graphs; entries
+// beyond it are LRU-evicted exactly like the entry-count bound. bytes <= 0
+// means unbounded. Call before the corpus starts serving.
+func (c *Corpus) SetMemLimit(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.memLimit = bytes
+}
+
 // Stats returns how many lookups were served from the cache and how many had
 // to build.
 func (c *Corpus) Stats() (hits, misses uint64) {
@@ -132,14 +182,21 @@ func (c *Corpus) Stats() (hits, misses uint64) {
 // current entry count.
 func (c *Corpus) Metrics() CorpusStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CorpusStats{
+	st := CorpusStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   len(c.gen) + len(c.derived),
 		Limit:     c.limit,
+		MemBytes:  c.memBytes,
+		MemLimit:  c.memLimit,
 	}
+	c.mu.Unlock()
+	if s := c.store.Load(); s != nil {
+		st.DiskEnabled = true
+		st.Disk = s.Stats()
+	}
+	return st
 }
 
 // touch moves e to the front of the LRU list, linking it on first use.
@@ -152,8 +209,8 @@ func (c *Corpus) touch(e *corpusEntry) {
 	}
 }
 
-// drop removes e from its map and the LRU list and counts the eviction.
-// Caller holds c.mu.
+// drop removes e from its map and the LRU list, releases its byte account
+// and counts the eviction. Caller holds c.mu.
 func (c *Corpus) drop(e *corpusEntry) {
 	c.lru.Remove(e.elem)
 	e.elem = nil
@@ -162,20 +219,31 @@ func (c *Corpus) drop(e *corpusEntry) {
 	} else {
 		delete(c.gen, e.key)
 	}
+	c.memBytes -= e.bytes
 	c.evictions++
 }
 
-// evict enforces the entry bound after an insert, walking from the LRU tail.
-// Entries still building are skipped (their pointer is not public yet), as is
-// keep, the entry just inserted. Evicting a generated graph cascades to the
-// derived entries keyed by its identity: once the canonical source instance
-// leaves the map, those keys can never be requested again. Caller holds c.mu.
+// overLimit reports whether either bound — entry count or estimated heap
+// bytes — is exceeded. Caller holds c.mu.
+func (c *Corpus) overLimit() bool {
+	if c.limit > 0 && len(c.gen)+len(c.derived) > c.limit {
+		return true
+	}
+	return c.memLimit > 0 && c.memBytes > c.memLimit
+}
+
+// evict enforces the entry and byte bounds after an insert or a completed
+// build, walking from the LRU tail. Entries still building are skipped
+// (their pointer is not public yet), as is keep, the entry just inserted.
+// Evicting a generated graph cascades to the derived entries keyed by its
+// identity: once the canonical source instance leaves the map, those keys
+// can never be requested again. Caller holds c.mu.
 func (c *Corpus) evict(keep *corpusEntry) {
-	if c.limit <= 0 {
+	if c.limit <= 0 && c.memLimit <= 0 {
 		return
 	}
 	el := c.lru.Back()
-	for len(c.gen)+len(c.derived) > c.limit && el != nil {
+	for c.overLimit() && el != nil {
 		e := el.Value.(*corpusEntry)
 		if e == keep || !e.built.Load() {
 			el = el.Prev()
@@ -236,19 +304,54 @@ func (c *Corpus) derivedEntry(key derivedKey) *corpusEntry {
 	return e
 }
 
-// build runs e's once-guarded construction and marks it evictable.
-func (e *corpusEntry) build(fn func()) {
+// runBuild runs e's once-guarded construction, then — exactly once, under
+// the corpus lock — accounts the entry's heap bytes, marks it evictable and
+// re-enforces the bounds (a just-built huge graph can push the byte budget
+// over even though the insert already ran evict). The construction itself
+// runs without the lock, so unrelated builds never serialize.
+func (c *Corpus) runBuild(e *corpusEntry, fn func()) {
 	e.once.Do(fn)
-	e.built.Store(true)
+	if e.built.Load() {
+		return
+	}
+	c.mu.Lock()
+	if !e.built.Load() {
+		if e.g != nil {
+			e.bytes = e.g.HeapBytes() +
+				8*int64(len(e.edges)) + 16*int64(len(e.copies))
+			c.memBytes += e.bytes
+		}
+		e.built.Store(true)
+		c.evict(e)
+	}
+	c.mu.Unlock()
 }
 
 // Get memoizes an arbitrary generated graph under key, building it with
 // build on first request. The named helpers below cover the standard
 // families; Get is the extension point for callers with their own
 // generators.
+//
+// With a store attached, a miss consults the disk tier before generating
+// (the image was checksum-verified, so a load is as good as a build), and a
+// fresh build is persisted best-effort — a Save failure (full disk,
+// read-only directory) costs nothing but the warm start.
 func (c *Corpus) Get(key CorpusKey, build func() (*Graph, error)) (*Graph, error) {
 	e := c.entry(key)
-	e.build(func() { e.g, e.err = build() })
+	c.runBuild(e, func() {
+		if s := c.store.Load(); s != nil {
+			if g, ok := s.Load(key); ok {
+				e.g = g
+				return
+			}
+			e.g, e.err = build()
+			if e.err == nil {
+				s.Save(key, e.g)
+			}
+			return
+		}
+		e.g, e.err = build()
+	})
 	return e.g, e.err
 }
 
@@ -338,14 +441,14 @@ func (c *Corpus) WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, erro
 // (graph, maxID, seed).
 func (c *Corpus) ShuffledIDsOf(g *Graph, maxID, seed int64) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "shuffled-ids", a: maxID, b: seed})
-	e.build(func() { e.g, e.err = WithShuffledIDs(g, maxID, seed) })
+	c.runBuild(e, func() { e.g, e.err = WithShuffledIDs(g, maxID, seed) })
 	return e.g, e.err
 }
 
 // ClusteredIDsOf returns the cached WithClusteredIDs perturbation of g.
 func (c *Corpus) ClusteredIDsOf(g *Graph, clusters int, maxID, seed int64) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "clustered-ids", k: clusters, a: maxID, b: seed})
-	e.build(func() { e.g, e.err = WithClusteredIDs(g, clusters, maxID, seed) })
+	c.runBuild(e, func() { e.g, e.err = WithClusteredIDs(g, clusters, maxID, seed) })
 	return e.g, e.err
 }
 
@@ -353,14 +456,14 @@ func (c *Corpus) ClusteredIDsOf(g *Graph, clusters int, maxID, seed int64) (*Gra
 // list (see LineGraph).
 func (c *Corpus) LineGraphOf(g *Graph) (*Graph, []Edge, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "line"})
-	e.build(func() { e.g, e.edges, e.err = LineGraph(g) })
+	c.runBuild(e, func() { e.g, e.edges, e.err = LineGraph(g) })
 	return e.g, e.edges, e.err
 }
 
 // PowerOf returns the cached k-th power of g.
 func (c *Corpus) PowerOf(g *Graph, k int) (*Graph, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "power", k: k})
-	e.build(func() { e.g, e.err = Power(g, k) })
+	c.runBuild(e, func() { e.g, e.err = Power(g, k) })
 	return e.g, e.err
 }
 
@@ -368,7 +471,7 @@ func (c *Corpus) PowerOf(g *Graph, k int) (*Graph, error) {
 // ProductDegPlusOne).
 func (c *Corpus) ProductOf(g *Graph) (*Graph, []CliqueCopy, error) {
 	e := c.derivedEntry(derivedKey{src: g, op: "product"})
-	e.build(func() { e.g, e.copies, e.err = ProductDegPlusOne(g) })
+	c.runBuild(e, func() { e.g, e.copies, e.err = ProductDegPlusOne(g) })
 	return e.g, e.copies, e.err
 }
 

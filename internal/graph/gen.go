@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"github.com/unilocal/unilocal/internal/mathutil"
 )
@@ -475,19 +476,26 @@ func WithClusteredIDs(g *Graph, clusters int, maxID int64, seed int64) (*Graph, 
 // distinct existing nodes chosen proportionally to their current degree
 // (sampled as a uniform draw over edge endpoints). The result is connected
 // with a power-law degree tail and degeneracy at most m. Requires 1 <= m < n.
+//
+// Generation is CSR-direct: the endpoint array the sampler needs anyway is
+// the edge list, and it scatters straight into sorted CSR segments — no
+// Builder arc accumulation, so peak memory is the output plus one cursor
+// array, which is what makes the huge-ba scenario family feasible. The RNG
+// stream and output graph are bit-identical to the historical Builder-based
+// generator (guarded by TestPreferentialAttachmentMatchesLegacy).
 func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
 	if m < 1 || m >= n {
 		return nil, fmt.Errorf("graph: attachment count %d out of range [1, n=%d)", m, n)
 	}
 	rng := newRNG(seed)
-	b := NewBuilder(n)
 	m0 := m + 1
 	// ends lists both endpoints of every edge so far; a uniform index into it
-	// is a degree-proportional node draw.
+	// is a degree-proportional node draw. Pairs (2i, 2i+1) are the edges:
+	// distinct by construction (the clique enumerates distinct pairs; a new
+	// node's m targets are deduplicated and all predate it), self-loop free.
 	ends := make([]int32, 0, m0*(m0-1)+2*(n-m0)*m)
 	for u := 0; u < m0; u++ {
 		for v := u + 1; v < m0; v++ {
-			b.AddEdge(u, v)
 			ends = append(ends, int32(u), int32(v))
 		}
 	}
@@ -508,11 +516,36 @@ func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
 			}
 		}
 		for _, t := range targets {
-			b.AddEdge(u, int(t))
 			ends = append(ends, int32(u), t)
 		}
 	}
-	return b.Build()
+	off, data := endsToCSR(n, ends)
+	return newGeneratedCSR(n, off, data), nil
+}
+
+// endsToCSR counting-sorts an endpoint array (edge i = ends[2i], ends[2i+1];
+// edges distinct, no self-loops) into a sorted symmetric CSR adjacency.
+func endsToCSR(n int, ends []int32) (off, data []int32) {
+	off = make([]int32, n+1)
+	for _, e := range ends {
+		off[e+1]++
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	data = make([]int32, len(ends))
+	cursor := append([]int32(nil), off[:n]...)
+	for i := 0; i+1 < len(ends); i += 2 {
+		a, b := ends[i], ends[i+1]
+		data[cursor[a]] = b
+		cursor[a]++
+		data[cursor[b]] = a
+		cursor[b]++
+	}
+	for u := 0; u < n; u++ {
+		slices.Sort(data[off[u]:off[u+1]])
+	}
+	return off, data
 }
 
 // RandomGeometric returns a random geometric (unit-disk) graph: n points
@@ -520,6 +553,14 @@ func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
 // coordinate, in node order), with an edge between every pair at Euclidean
 // distance <= r. Cell binning keeps generation near-linear in the output
 // size. Requires 0 < r <= 1.
+//
+// Generation is CSR-direct: one binning pass groups points into cells, a
+// counting pass sizes every adjacency segment, and a second identical scan
+// scatters neighbours straight into the output arrays — no Builder arc list,
+// so peak memory is the coordinates plus the output itself, which is what
+// makes the huge-geometric scenario family feasible. The RNG stream (and
+// therefore the output graph) is bit-identical to the historical
+// Builder-based generator (guarded by TestRandomGeometricMatchesLegacy).
 func RandomGeometric(n int, r float64, seed int64) (*Graph, error) {
 	if !(r > 0 && r <= 1) {
 		return nil, fmt.Errorf("graph: geometric radius %v out of (0, 1]", r)
@@ -548,34 +589,74 @@ func RandomGeometric(n int, r float64, seed int64) (*Graph, error) {
 		}
 		return c
 	}
-	buckets := make([][]int32, cells*cells)
+	// Counting-sort the points into cells (flat arrays, not per-cell slices).
+	nc := cells * cells
+	cellIdx := make([]int32, n)
+	cellOff := make([]int32, nc+1)
 	for u := 0; u < n; u++ {
-		c := cellOf(ys[u])*cells + cellOf(xs[u])
-		buckets[c] = append(buckets[c], int32(u))
+		ci := int32(cellOf(ys[u])*cells + cellOf(xs[u]))
+		cellIdx[u] = ci
+		cellOff[ci+1]++
 	}
-	b := NewBuilder(n)
-	r2 := r * r
+	for c := 0; c < nc; c++ {
+		cellOff[c+1] += cellOff[c]
+	}
+	cellNodes := make([]int32, n)
+	cur := append([]int32(nil), cellOff[:nc]...)
 	for u := 0; u < n; u++ {
-		cx, cy := cellOf(xs[u]), cellOf(ys[u])
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+		cellNodes[cur[cellIdx[u]]] = int32(u)
+		cur[cellIdx[u]]++
+	}
+	// forPairs enumerates each qualifying pair (u, v), u < v, exactly once:
+	// v is found in u's 3x3 cell neighbourhood, and the v > u guard both
+	// halves the distance checks and deduplicates the symmetric visit.
+	r2 := r * r
+	forPairs := func(emit func(u int, v int32)) {
+		for u := 0; u < n; u++ {
+			cx, cy := int(cellIdx[u])%cells, int(cellIdx[u])/cells
+			for dy := -1; dy <= 1; dy++ {
+				ny := cy + dy
+				if ny < 0 || ny >= cells {
 					continue
 				}
-				for _, v := range buckets[ny*cells+nx] {
-					if int(v) <= u {
+				for dx := -1; dx <= 1; dx++ {
+					nx := cx + dx
+					if nx < 0 || nx >= cells {
 						continue
 					}
-					ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
-					if ddx*ddx+ddy*ddy <= r2 {
-						b.AddEdge(u, int(v))
+					for _, v := range cellNodes[cellOff[ny*cells+nx]:cellOff[ny*cells+nx+1]] {
+						if int(v) <= u {
+							continue
+						}
+						ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
+						if ddx*ddx+ddy*ddy <= r2 {
+							emit(u, v)
+						}
 					}
 				}
 			}
 		}
 	}
-	return b.Build()
+	off := make([]int32, n+1)
+	forPairs(func(u int, v int32) {
+		off[u+1]++
+		off[v+1]++
+	})
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	data := make([]int32, off[n])
+	cursor := append([]int32(nil), off[:n]...)
+	forPairs(func(u int, v int32) {
+		data[cursor[u]] = v
+		cursor[u]++
+		data[cursor[v]] = int32(u)
+		cursor[v]++
+	})
+	for u := 0; u < n; u++ {
+		slices.Sort(data[off[u]:off[u+1]])
+	}
+	return newGeneratedCSR(n, off, data), nil
 }
 
 // WattsStrogatz returns a Watts–Strogatz small-world graph: the ring lattice

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 )
 
 // MaxID is the largest identity a node of a base (non-derived) graph may
@@ -50,7 +51,21 @@ type Graph struct {
 	maxDeg int
 	edges  int
 	maxID  int64
+
+	// idIdx maps identity -> node index. Graphs built through the Builder (or
+	// newFromSortedCSR) populate it eagerly, because identity validation needs
+	// the table anyway; graphs loaded from a store image (whose identities
+	// were validated when the image was written) build it lazily on the first
+	// IndexOfID call via idOnce, so an out-of-core graph does not pay an O(n)
+	// heap map it may never use.
 	idIdx  map[int64]int32
+	idOnce sync.Once
+
+	// mapped is non-nil when the CSR arrays are zero-copy views into an
+	// mmap'ed store image rather than Go heap slices; it retains the mapping
+	// (unmapped by a finalizer when the Graph becomes unreachable) and makes
+	// HeapBytes report only the resident footprint.
+	mapped *mapping
 }
 
 // N returns the number of nodes.
@@ -112,12 +127,56 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // IndexOfID returns the node index carrying identity id, or -1. The lookup
-// table is precomputed at Build.
+// table is precomputed at Build for generator-built graphs and built lazily
+// (once, safe for concurrent use) for graphs loaded from a store image.
 func (g *Graph) IndexOfID(id int64) int {
+	g.idOnce.Do(g.ensureIDIndex)
 	if u, ok := g.idIdx[id]; ok {
 		return int(u)
 	}
 	return -1
+}
+
+// ensureIDIndex builds the identity lookup table when construction skipped
+// it (store-loaded graphs). Identities in a store image were validated when
+// the image was written, so no duplicate/range checking is repeated here.
+func (g *Graph) ensureIDIndex() {
+	if g.idIdx != nil {
+		return
+	}
+	idx := make(map[int64]int32, len(g.ids))
+	for u, id := range g.ids {
+		idx[id] = int32(u)
+	}
+	g.idIdx = idx
+}
+
+// CSRBytes returns the raw size of the graph's flat arrays (identities plus
+// the four CSR tables) — the bytes a store image's payload occupies, and the
+// heap cost of holding the graph in memory without mmap.
+func (g *Graph) CSRBytes() int64 {
+	return 8*int64(len(g.ids)) +
+		4*(int64(len(g.off))+int64(len(g.data))+int64(len(g.back))+int64(len(g.cross)))
+}
+
+// HeapBytes estimates the graph's resident Go-heap footprint, the quantity a
+// byte-bounded Corpus budgets. A heap-built graph costs its CSR arrays plus
+// the identity index; an mmap-backed graph costs almost nothing on the heap —
+// its arrays are views into the page cache, reclaimable by the OS — which is
+// exactly what lets a bounded corpus hold out-of-core graphs far larger than
+// its budget. (A lazily built identity index on a mapped graph is not
+// re-accounted; callers that need IndexOfID on huge graphs pay for it
+// knowingly.)
+func (g *Graph) HeapBytes() int64 {
+	if g.mapped != nil {
+		return 512 // struct header, offsets into the mapping
+	}
+	b := g.CSRBytes()
+	if g.idIdx != nil {
+		// ~24 bytes per map entry (key, value, bucket overhead).
+		b += 24 * int64(len(g.idIdx))
+	}
+	return b
 }
 
 // Edge is an undirected edge given by its endpoint indices with U < V.
@@ -247,6 +306,41 @@ func newFromSortedCSR(ids []int64, off, data []int32) (*Graph, error) {
 	}
 	g.finishCSR()
 	return g, nil
+}
+
+// newGeneratedCSR assembles a Graph from a sorted, deduplicated, symmetric
+// CSR adjacency emitted directly by a streaming generator. Identities are
+// the Builder default u+1, which needs no validation, so the identity index
+// is left to build lazily — at 10^8 nodes the eager map would cost more
+// than the coordinates the generator sampled.
+func newGeneratedCSR(n int, off, data []int32) *Graph {
+	ids := make([]int64, n)
+	for u := range ids {
+		ids[u] = int64(u) + 1
+	}
+	g := &Graph{ids: ids, off: off, data: data, maxID: int64(n)}
+	g.finishCSR()
+	return g
+}
+
+// newFromStoredCSR assembles a Graph from the fully precomputed arrays of a
+// store image, possibly zero-copy views into an mmap'ed file (m non-nil). No
+// validation and no finishCSR: the image was written from a validated Graph
+// and its integrity was checksum-verified by the loader. The identity index
+// is deliberately left nil — it builds lazily on first IndexOfID, so loading
+// a 10^8-node image stays O(1) heap.
+func newFromStoredCSR(ids []int64, off, data, back, cross []int32, maxDeg, edges int, maxID int64, m *mapping) *Graph {
+	return &Graph{
+		ids:    ids,
+		off:    off,
+		data:   data,
+		back:   back,
+		cross:  cross,
+		maxDeg: maxDeg,
+		edges:  edges,
+		maxID:  maxID,
+		mapped: m,
+	}
 }
 
 // Build validates the accumulated data and returns the immutable graph.

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can map store images; when
+// false the store falls back to reading images into heap buffers.
+const mmapSupported = false
+
+var errNoMmap = errors.New("graph: store: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(b []byte) error {
+	return errNoMmap
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map store images; when
+// false the store falls back to reading images into heap buffers.
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and shared, so every
+// process mapping the same image shares one copy in the page cache.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

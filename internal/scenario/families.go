@@ -318,6 +318,46 @@ var families = map[string]Family{
 			return c.RandomGeometric(gs.N, gs.Radius, gs.Seed)
 		},
 	},
+	"huge-geometric": {
+		Name: "huge-geometric", Params: "n, d (target average degree), seed",
+		uses: fieldSet{N: true, D: true, Seed: true},
+		Doc:  "big-graph geometric: unit-disk graph with radius derived from a target average degree",
+		Validate: func(gs GraphSpec) error {
+			if err := needN(gs); err != nil {
+				return err
+			}
+			if int64(gs.N) > graph.MaxID {
+				return fmt.Errorf("family huge-geometric needs n <= %d, got %d", graph.MaxID, gs.N)
+			}
+			if gs.D < 1 || gs.D >= gs.N {
+				return fmt.Errorf("family huge-geometric needs 1 <= d < n, got n=%d d=%d", gs.N, gs.D)
+			}
+			return nil
+		},
+		Build: func(c *graph.Corpus, gs GraphSpec) (*graph.Graph, error) {
+			return c.RandomGeometric(gs.N, hugeGeomRadius(gs.N, gs.D), gs.Seed)
+		},
+	},
+	"huge-ba": {
+		Name: "huge-ba", Params: "n, k (attachments), seed",
+		uses: fieldSet{N: true, K: true, Seed: true},
+		Doc:  "big-graph preferential attachment: ba at 10^7–10^8 nodes via streaming CSR generation",
+		Validate: func(gs GraphSpec) error {
+			if err := needN(gs); err != nil {
+				return err
+			}
+			if int64(gs.N) > graph.MaxID {
+				return fmt.Errorf("family huge-ba needs n <= %d, got %d", graph.MaxID, gs.N)
+			}
+			if gs.K < 1 || gs.K >= gs.N {
+				return fmt.Errorf("family huge-ba needs 1 <= k < n, got n=%d k=%d", gs.N, gs.K)
+			}
+			return nil
+		},
+		Build: func(c *graph.Corpus, gs GraphSpec) (*graph.Graph, error) {
+			return c.PreferentialAttachment(gs.N, gs.K, gs.Seed)
+		},
+	},
 	"smallworld": {
 		Name: "smallworld", Params: "n, k (lattice degree), beta, seed",
 		uses: fieldSet{N: true, K: true, Beta: true, Seed: true},
@@ -335,6 +375,19 @@ var families = map[string]Family{
 			return c.WattsStrogatz(gs.N, gs.K, gs.Beta, gs.Seed)
 		},
 	},
+}
+
+// hugeGeomRadius derives the unit-disk radius that gives a target average
+// degree d on n uniform points: the expected degree is ~(n-1)·πr², so
+// r = sqrt(d / (π(n-1))). The formula is a fixed deterministic function of
+// the spec, so a huge-geometric spec names the same underlying geometric
+// corpus key (and store image) on every replica.
+func hugeGeomRadius(n, d int) float64 {
+	r := math.Sqrt(float64(d) / (math.Pi * float64(n-1)))
+	if r > 1 {
+		r = 1
+	}
+	return r
 }
 
 // satMulInt multiplies non-negative sizes saturating at math.MaxInt, so a
@@ -415,7 +468,11 @@ func (gs GraphSpec) ApproxEdges() int {
 	case "geometric":
 		// Expected pairs within radius r on the unit square: ~ n²·πr²/2.
 		return int(math.Min(math.Pi*gs.Radius*gs.Radius*float64(half(gs.N)), math.MaxInt/2))
-	case "ba", "smallworld", "forest", "caterpillar":
+	case "huge-geometric":
+		// The radius is derived from the target average degree d, so the
+		// expected edge count is simply n·d/2.
+		return satMulInt(gs.N, gs.D) / 2
+	case "ba", "huge-ba", "smallworld", "forest", "caterpillar":
 		k := gs.K
 		if k == 0 {
 			k = 1

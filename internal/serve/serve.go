@@ -74,6 +74,17 @@ type Config struct {
 	// CorpusLimit bounds the shared graph corpus (entries, LRU-evicted);
 	// 0 means DefaultCorpusLimit, negative means unbounded.
 	CorpusLimit int
+	// CorpusStore, when non-nil, is the content-addressed on-disk CSR image
+	// tier backing the corpus (graph.OpenStore): misses load previously
+	// built graphs by mmap instead of regenerating, and fresh builds are
+	// persisted for other replicas sharing the directory. Documents are
+	// byte-identical with or without a store.
+	CorpusStore *graph.Store
+	// CorpusMemBytes bounds the corpus's estimated in-heap graph bytes
+	// (LRU-evicted like the entry bound); 0 means unbounded. With a store
+	// attached, evicted graphs reload from disk, so a small budget plus a
+	// warm store serves graphs far larger than the budget.
+	CorpusMemBytes int64
 	// CacheSize bounds the keyed response cache; 0 means DefaultCacheSize,
 	// negative disables caching.
 	CacheSize int
@@ -165,9 +176,16 @@ func New(cfg Config) *Server {
 	if corpusLimit < 0 {
 		corpusLimit = 0 // unbounded
 	}
+	corpus := graph.NewBoundedCorpus(corpusLimit)
+	if cfg.CorpusStore != nil {
+		corpus.AttachStore(cfg.CorpusStore)
+	}
+	if cfg.CorpusMemBytes > 0 {
+		corpus.SetMemLimit(cfg.CorpusMemBytes)
+	}
 	s := &Server{
 		cfg:     cfg,
-		corpus:  graph.NewBoundedCorpus(corpusLimit),
+		corpus:  corpus,
 		cache:   newRespCache(cfg.CacheSize),
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
@@ -689,6 +707,10 @@ type Metrics struct {
 		Evictions uint64 `json:"evictions"`
 		Entries   int    `json:"entries"`
 		Limit     int    `json:"limit"`
+		MemBytes  int64  `json:"mem_bytes"`
+		MemLimit  int64  `json:"mem_limit"`
+		// Disk is present only when a CSR image store is attached.
+		Disk *DiskMetrics `json:"disk,omitempty"`
 	} `json:"corpus"`
 	Cache struct {
 		Hits    uint64 `json:"hits"`
@@ -696,6 +718,18 @@ type Metrics struct {
 		Entries int    `json:"entries"`
 		Limit   int    `json:"limit"`
 	} `json:"cache"`
+}
+
+// DiskMetrics is the /metrics view of the corpus's disk tier (the CSR image
+// store): load hits and misses, images this process wrote, corrupt images
+// rejected, and byte totals for writes and mmaps.
+type DiskMetrics struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Written      uint64 `json:"written"`
+	Corrupt      uint64 `json:"corrupt"`
+	BytesWritten int64  `json:"bytes_written"`
+	BytesMapped  int64  `json:"bytes_mapped"`
 }
 
 // Snapshot returns the current metrics.
@@ -721,6 +755,17 @@ func (s *Server) Snapshot() Metrics {
 	cs := s.corpus.Metrics()
 	m.Corpus.Hits, m.Corpus.Misses, m.Corpus.Evictions = cs.Hits, cs.Misses, cs.Evictions
 	m.Corpus.Entries, m.Corpus.Limit = cs.Entries, cs.Limit
+	m.Corpus.MemBytes, m.Corpus.MemLimit = cs.MemBytes, cs.MemLimit
+	if cs.DiskEnabled {
+		m.Corpus.Disk = &DiskMetrics{
+			Hits:         cs.Disk.Hits,
+			Misses:       cs.Disk.Misses,
+			Written:      cs.Disk.Written,
+			Corrupt:      cs.Disk.Corrupt,
+			BytesWritten: cs.Disk.BytesWritten,
+			BytesMapped:  cs.Disk.BytesMapped,
+		}
+	}
 	ch, cm, ce, cl := s.cache.stats()
 	m.Cache.Hits, m.Cache.Misses, m.Cache.Entries, m.Cache.Limit = ch, cm, ce, cl
 	return m
