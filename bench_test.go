@@ -117,7 +117,7 @@ func BenchmarkTable1_MISColoring_DeltaLogStar(b *testing.B) {
 			{"gnp8", benchGNP(b, n, 8)},
 		} {
 			b.Run(fmt.Sprintf("%s/n=%d", fam.name, n), func(b *testing.B) {
-				compare(b, fam.g, engines.NonUniformMISDelta(fam.g), uniform, misCheck(fam.g))
+				compare(b, fam.g, engines.NonUniformMISDelta(engines.GraphParams(fam.g)), uniform, misCheck(fam.g))
 			})
 		}
 	}
@@ -131,7 +131,7 @@ func BenchmarkTable1_MIS_NKnowledge(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
 		g := benchGNP(b, n, 6)
 		b.Run(fmt.Sprintf("gnp6/n=%d", n), func(b *testing.B) {
-			compare(b, g, engines.NonUniformMISID(g), uniform, misCheck(g))
+			compare(b, g, engines.NonUniformMISID(engines.GraphParams(g)), uniform, misCheck(g))
 		})
 	}
 }
@@ -145,7 +145,7 @@ func BenchmarkTable1_MIS_Arboricity(b *testing.B) {
 		for _, a := range []int{1, 3} {
 			g := graph.ForestUnion(n, a, int64(n*a))
 			b.Run(fmt.Sprintf("forest%d/n=%d", a, n), func(b *testing.B) {
-				compare(b, g, engines.NonUniformMISArb(g), uniform, misCheck(g))
+				compare(b, g, engines.NonUniformMISArb(engines.GraphParams(g)), uniform, misCheck(g))
 			})
 		}
 	}
@@ -161,7 +161,7 @@ func BenchmarkTable1_LambdaColoring(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("lambda=%d", lambda), func(b *testing.B) {
-			compare(b, g, engines.NonUniformLambdaColoring(lambda)(g), uniform, func(outputs []any) error {
+			compare(b, g, engines.NonUniformLambdaColoring(lambda)(engines.GraphParams(g)), uniform, func(outputs []any) error {
 				colors, err := problems.Ints(outputs)
 				if err != nil {
 					return err
@@ -180,7 +180,7 @@ func BenchmarkTable1_EdgeColoring(b *testing.B) {
 		b.Run(fmt.Sprintf("regular6/n=%d", n), func(b *testing.B) {
 			var res *local.Result
 			for i := 0; i < b.N; i++ {
-				res = run(b, g, engines.NonUniformEdgeColoring(g), int64(i))
+				res = run(b, g, engines.NonUniformEdgeColoring(engines.GraphParams(g)), int64(i))
 			}
 			b.ReportMetric(float64(res.Rounds), "rounds/nonuniform")
 		})
@@ -205,7 +205,7 @@ func BenchmarkTable1_MaximalMatching(b *testing.B) {
 	for _, n := range []int{256, 1024} {
 		g := benchGNP(b, n, 5)
 		b.Run(fmt.Sprintf("gnp5/n=%d", n), func(b *testing.B) {
-			compare(b, g, engines.NonUniformMatching(g), uniform, func(outputs []any) error {
+			compare(b, g, engines.NonUniformMatching(engines.GraphParams(g)), uniform, func(outputs []any) error {
 				return problems.ValidMaximalMatching(g, outputs)
 			})
 		})
@@ -219,7 +219,7 @@ func BenchmarkTable1_RulingSet(b *testing.B) {
 		uniform := engines.LasVegasRulingSet(beta)
 		g := benchGNP(b, 512, 8)
 		b.Run(fmt.Sprintf("beta=%d/gnp8/n=512", beta), func(b *testing.B) {
-			compare(b, g, engines.NonUniformRulingSet(beta)(g), uniform, func(outputs []any) error {
+			compare(b, g, engines.NonUniformRulingSet(beta)(engines.GraphParams(g)), uniform, func(outputs []any) error {
 				in, err := problems.Bools(outputs)
 				if err != nil {
 					return err
@@ -376,7 +376,7 @@ func BenchmarkAblation_TransformerOverhead(b *testing.B) {
 	for _, n := range []int{128, 512, 2048, 8192} {
 		g := benchRegular(b, n, 4)
 		b.Run(fmt.Sprintf("regular4/n=%d", n), func(b *testing.B) {
-			compare(b, g, engines.NonUniformMISDelta(g), uniform, misCheck(g))
+			compare(b, g, engines.NonUniformMISDelta(engines.GraphParams(g)), uniform, misCheck(g))
 		})
 	}
 }

@@ -481,7 +481,7 @@ func e1(p *plan) error {
 			name string
 			g    *graph.Graph
 		}{{"cycle", cyc}, {"regular4", reg}, {"gnp8", gnp}} {
-			p.row(fam.name, fam.g, engines.NonUniformMISDelta(fam.g), uniform, misCheck(fam.g))
+			p.row(fam.name, fam.g, engines.NonUniformMISDelta(engines.GraphParams(fam.g)), uniform, misCheck(fam.g))
 		}
 	}
 	return nil
@@ -496,7 +496,7 @@ func e2(p *plan) error {
 		if err != nil {
 			return err
 		}
-		p.row("gnp6", g, engines.NonUniformMISID(g), uniform, misCheck(g))
+		p.row("gnp6", g, engines.NonUniformMISID(engines.GraphParams(g)), uniform, misCheck(g))
 	}
 	return nil
 }
@@ -508,7 +508,7 @@ func e3(p *plan) error {
 	for _, n := range sizes([]int{256, 1024}, []int{1024, 8192}) {
 		for _, a := range []int{1, 3} {
 			g := p.corpus.ForestUnion(n, a, int64(n*a))
-			p.row(fmt.Sprintf("forest(a≤%d)", a), g, engines.NonUniformMISArb(g), uniform, misCheck(g))
+			p.row(fmt.Sprintf("forest(a≤%d)", a), g, engines.NonUniformMISArb(engines.GraphParams(g)), uniform, misCheck(g))
 		}
 	}
 	return nil
@@ -535,7 +535,7 @@ func e4(p *plan) error {
 			return problems.ValidColoring(g, colors, 0)
 		}
 		p.row(fmt.Sprintf("regular8, λ=%d", lambda), g,
-			engines.NonUniformLambdaColoring(lambda)(g), uniform, check)
+			engines.NonUniformLambdaColoring(lambda)(engines.GraphParams(g)), uniform, check)
 	}
 	return nil
 }
@@ -550,7 +550,7 @@ func e6(p *plan) error {
 			return err
 		}
 		check := func(outputs []any) error { return problems.ValidMaximalMatching(g, outputs) }
-		p.row("gnp5", g, engines.NonUniformMatching(g), uniform, check)
+		p.row("gnp5", g, engines.NonUniformMatching(engines.GraphParams(g)), uniform, check)
 	}
 	return nil
 }
@@ -573,7 +573,7 @@ func e7(p *plan) error {
 			return problems.ValidRulingSet(g, in, 2, beta)
 		}
 		p.row(fmt.Sprintf("gnp8, β=%d", beta), g,
-			engines.NonUniformRulingSet(beta)(g), uniform, check)
+			engines.NonUniformRulingSet(beta)(engines.GraphParams(g)), uniform, check)
 	}
 	return nil
 }
@@ -639,9 +639,9 @@ func e9(p *plan) error {
 	} {
 		g := fam.g
 		best := p.submit(fam.name, g, combined, *flagSeed)
-		rd := p.submit(fam.name, g, engines.NonUniformMISDelta(g), *flagSeed)
-		ri := p.submit(fam.name, g, engines.NonUniformMISID(g), *flagSeed)
-		ra := p.submit(fam.name, g, engines.NonUniformMISArb(g), *flagSeed)
+		rd := p.submit(fam.name, g, engines.NonUniformMISDelta(engines.GraphParams(g)), *flagSeed)
+		ri := p.submit(fam.name, g, engines.NonUniformMISID(engines.GraphParams(g)), *flagSeed)
+		ra := p.submit(fam.name, g, engines.NonUniformMISArb(engines.GraphParams(g)), *flagSeed)
 		p.addRender(func() error {
 			rounds := make([]int, 4)
 			for j, i := range []int{best, rd, ri, ra} {

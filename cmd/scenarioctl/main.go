@@ -89,7 +89,8 @@ func validate(dir string, stdout, stderr io.Writer) bool {
 			continue
 		}
 		specs = append(specs, r.Spec)
-		fmt.Fprintf(stdout, "%s: ok (%s)\n", r.Path, r.Spec.Name)
+		fmt.Fprintf(stdout, "%s: ok (%s) knowledge=%s scheduler=%s\n",
+			r.Path, r.Spec.Name, r.Spec.Knowledge, r.Spec.Scheduler)
 	}
 	if !ok {
 		return false

@@ -54,7 +54,7 @@ func run() error {
 		return err
 	}
 
-	baseline := engines.NonUniformMatching(g)
+	baseline := engines.NonUniformMatching(engines.GraphParams(g))
 	uniform := engines.UniformMatching()
 
 	resBase, err := local.Run(g, baseline, local.Options{Seed: 2})

@@ -36,8 +36,9 @@ func run() error {
 		return err
 	}
 
-	// The baseline needs to be told Δ and the identity bound m.
-	baseline := engines.NonUniformMISDelta(g)
+	// The baseline needs to be told Δ and the identity bound m. The exact
+	// regime advertises the measured parameters verbatim.
+	baseline := engines.NonUniformMISDelta(engines.GraphParams(g))
 	resBase, err := local.Run(g, baseline, local.Options{Seed: 1})
 	if err != nil {
 		return err

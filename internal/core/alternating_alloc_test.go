@@ -73,9 +73,9 @@ func TestGatherSteadyStateAllocs(t *testing.T) {
 
 func TestMemoPlanStepAllocs(t *testing.T) {
 	nu := NonUniformFunc{
-		AlgoName:  "probe",
-		ParamList: []Param{ParamMaxID},
-		Build:     func([]int) local.Algorithm { return falseAlgo },
+		AlgoName: "probe",
+		Needs:    []Param{ParamMaxID},
+		Build:    func(Params) local.Algorithm { return falseAlgo },
 	}
 	plan := MemoPlan(Theorem1Plan(nu, Additive(func(x int) int { return x })))
 	// Warm the cache, then the read path must be allocation-free.

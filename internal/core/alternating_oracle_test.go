@@ -24,10 +24,10 @@ import (
 // package (core_test cannot reuse the in-package test helpers).
 func oracleMISEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "colormis",
-		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return colormis.New(g[0], int64(g[1]))
+		AlgoName: "colormis",
+		Needs:    []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return colormis.New(p.Delta, p.M)
 		},
 	}
 	return nu, core.Additive(colormis.BoundDelta, colormis.BoundM)
@@ -35,10 +35,10 @@ func oracleMISEngine() (core.NonUniform, core.SetSequence) {
 
 func oracleLubyEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "luby-truncated",
-		ParamList: []core.Param{core.ParamN},
-		Build: func(g []int) local.Algorithm {
-			return luby.Truncated(g[0])
+		AlgoName: "luby-truncated",
+		Needs:    []core.Param{core.ParamN},
+		Build: func(p core.Params) local.Algorithm {
+			return luby.Truncated(p.N)
 		},
 	}
 	return nu, core.Additive(func(n int) int { return luby.Rounds(n) })
@@ -46,10 +46,10 @@ func oracleLubyEngine() (core.NonUniform, core.SetSequence) {
 
 func oracleMatchingEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "line-matching",
-		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return matching.New(g[0], int64(g[1]))
+		AlgoName: "line-matching",
+		Needs:    []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return matching.New(p.Delta, p.M)
 		},
 	}
 	return nu, core.Additive(matching.BoundDelta, matching.BoundM)

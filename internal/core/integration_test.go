@@ -73,10 +73,10 @@ func TestAlternatingPresentsInducedSubgraphs(t *testing.T) {
 	nu, seq := misEngine()
 	collector := &spyCollector{}
 	spied := NonUniformFunc{
-		AlgoName:  nu.Name(),
-		ParamList: nu.Params(),
-		Build: func(guesses []int) local.Algorithm {
-			return &spyAlgorithm{collector: collector, inner: nu.WithGuesses(guesses)}
+		AlgoName: nu.Name(),
+		Needs:    nu.Params(),
+		Build: func(p Params) local.Algorithm {
+			return &spyAlgorithm{collector: collector, inner: nu.WithParams(p)}
 		},
 	}
 	uniform := Uniform(spied, seq, MISPruner())

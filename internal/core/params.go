@@ -51,11 +51,103 @@ const (
 // accommodates the packed identities of derived graphs.
 const GuessCap = int(1) << 62
 
+// Params is the typed parameter vector Γ of Section 2: the guessed (or
+// measured) values of the four graph parameters the paper's applications
+// consume. An algorithm reads only the fields named by its Params() list;
+// the others carry no meaning for it.
+type Params struct {
+	// N is the number of nodes n.
+	N int
+	// Delta is the maximum degree Δ.
+	Delta int
+	// Arb is the arboricity bound a.
+	Arb int
+	// M is the maximum identity m (also "maximum initial color").
+	M int64
+}
+
+// NewParams builds the measured parameter vector of a concrete graph with
+// the domain floor applied explicitly: n, m and the arboricity bound are
+// positive integers by definition (Section 2), so degenerate measurements —
+// n = 0 or m = 0 on an empty graph, an arboricity bound of 0 on an edgeless
+// one — are raised to 1 here, in one visible place. Δ is NOT floored: 0 is
+// its true value on an edgeless graph and every engine accepts it.
+func NewParams(n, delta, arb int, m int64) Params {
+	if n < 1 {
+		n = 1
+	}
+	if arb < 1 {
+		arb = 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	return Params{N: n, Delta: delta, Arb: arb, M: m}
+}
+
+// Value returns the named parameter as a guess value. M is reported as int:
+// guesses are bounded by GuessCap, which fits the required 64-bit int.
+func (p Params) Value(q Param) int {
+	switch q {
+	case ParamN:
+		return p.N
+	case ParamMaxDegree:
+		return p.Delta
+	case ParamArboricity:
+		return p.Arb
+	case ParamMaxID:
+		return int(p.M)
+	}
+	panic(fmt.Sprintf("core: unknown parameter %q", q))
+}
+
+// With returns a copy of p with the named parameter set to v.
+func (p Params) With(q Param, v int) Params {
+	switch q {
+	case ParamN:
+		p.N = v
+	case ParamMaxDegree:
+		p.Delta = v
+	case ParamArboricity:
+		p.Arb = v
+	case ParamMaxID:
+		p.M = int64(v)
+	default:
+		panic(fmt.Sprintf("core: unknown parameter %q", q))
+	}
+	return p
+}
+
+// String lists the vector in the paper's order.
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d,Δ=%d,a=%d,m=%d", p.N, p.Delta, p.Arb, p.M)
+}
+
+// ParamsFromVector converts a positional guess vector — coordinates follow
+// params, as emitted by a SetSequence — into a typed Params. The list must
+// be duplicate-free; schedules whose coordinate lists repeat a parameter
+// (Theorem 3's Λ may) translate positionally before reaching this form.
+func ParamsFromVector(params []Param, vec []int) Params {
+	if len(vec) < len(params) {
+		panic(fmt.Sprintf("core: guess vector of arity %d for %d parameters", len(vec), len(params)))
+	}
+	var p Params
+	for i, q := range params {
+		for _, prev := range params[:i] {
+			if prev == q {
+				panic(fmt.Sprintf("core: duplicate parameter %q in vector conversion", q))
+			}
+		}
+		p = p.With(q, vec[i])
+	}
+	return p
+}
+
 // NonUniform is a non-uniform local algorithm in the sense of Section 2: a
-// black box whose code consumes one guess per parameter in Params. The
-// contract required by the transformers is:
+// black box whose code consumes the guessed values of the parameters in
+// Params. The contract required by the transformers is:
 //
-//  1. WithGuesses(g) terminates at every node within the running-time bound
+//  1. WithParams(p) terminates at every node within the running-time bound
 //     encoded by the SetSequence supplied alongside it, for any guesses;
 //  2. if every guess is good (>= the true parameter value on the current
 //     instance), the output solves the problem;
@@ -64,24 +156,24 @@ const GuessCap = int(1) << 62
 type NonUniform interface {
 	Name() string
 	Params() []Param
-	WithGuesses(guesses []int) local.Algorithm
+	WithParams(p Params) local.Algorithm
 }
 
 // NonUniformFunc packages a NonUniform from closures.
 type NonUniformFunc struct {
-	AlgoName  string
-	ParamList []Param
-	Build     func(guesses []int) local.Algorithm
+	AlgoName string
+	Needs    []Param
+	Build    func(p Params) local.Algorithm
 }
 
 // Name implements NonUniform.
 func (a NonUniformFunc) Name() string { return a.AlgoName }
 
 // Params implements NonUniform.
-func (a NonUniformFunc) Params() []Param { return a.ParamList }
+func (a NonUniformFunc) Params() []Param { return a.Needs }
 
-// WithGuesses implements NonUniform.
-func (a NonUniformFunc) WithGuesses(guesses []int) local.Algorithm { return a.Build(guesses) }
+// WithParams implements NonUniform.
+func (a NonUniformFunc) WithParams(p Params) local.Algorithm { return a.Build(p) }
 
 var _ NonUniform = NonUniformFunc{}
 
@@ -118,18 +210,4 @@ func MaxArg(f AscFunc, budget int) int {
 		}
 	}
 	return lo
-}
-
-// guessString formats guesses for algorithm names.
-func guessString(params []Param, guesses []int) string {
-	s := ""
-	for i, p := range params {
-		if i > 0 {
-			s += ","
-		}
-		if i < len(guesses) {
-			s += fmt.Sprintf("%s=%d", p, guesses[i])
-		}
-	}
-	return s
 }

@@ -208,10 +208,10 @@ func UniformColoring(engine ColoringEngine) (local.Algorithm, error) {
 	// degree guess only sizes the budget, every node reads its own Δ̂ from
 	// its input).
 	slcNU := NonUniformFunc{
-		AlgoName:  "slc(" + engine.Name() + ")",
-		ParamList: []Param{ParamMaxDegree, ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return slcSolver(engine, int64(g[1]))
+		AlgoName: "slc(" + engine.Name() + ")",
+		Needs:    []Param{ParamMaxDegree, ParamMaxID},
+		Build: func(p Params) local.Algorithm {
+			return slcSolver(engine, p.M)
 		},
 	}
 	seq := Additive(

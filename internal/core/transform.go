@@ -19,12 +19,21 @@ const maxIterations = 62
 // emits for budget 2^i guarantees a finishes within C*2^i rounds, and every
 // good guess vector is eventually dominated.
 func Theorem1Plan(a NonUniform, seq SetSequence) Plan {
-	return theorem1Plan{a: a, seq: seq}
+	return theorem1Plan{build: vectorBuild(a), seq: seq}
+}
+
+// vectorBuild adapts a NonUniform to the schedule machinery, which walks
+// positional SetSequence vectors: the coordinates follow a.Params(), so the
+// vector converts losslessly into the typed form at the Γ boundary.
+func vectorBuild(a NonUniform) func(vec []int) local.Algorithm {
+	return func(vec []int) local.Algorithm {
+		return a.WithParams(ParamsFromVector(a.Params(), vec))
+	}
 }
 
 type theorem1Plan struct {
-	a   NonUniform
-	seq SetSequence
+	build func(vec []int) local.Algorithm
+	seq   SetSequence
 }
 
 func (p theorem1Plan) Step(k int) (Step, bool) {
@@ -34,7 +43,7 @@ func (p theorem1Plan) Step(k int) (Step, bool) {
 		if k < acc+len(vs) {
 			g := vs[k-acc]
 			return Step{
-				Algo:   p.a.WithGuesses(g),
+				Algo:   p.build(g),
 				Budget: mathutil.SatMul(p.seq.C(), mathutil.SatPow2(i)),
 			}, true
 		}
@@ -57,7 +66,7 @@ func Uniform(a NonUniform, seq SetSequence, pruner Pruner) local.Algorithm {
 // every budget level, yielding a Las Vegas algorithm with expected running
 // time O(f* · s_f(f*)).
 func Theorem2Plan(a NonUniform, seq SetSequence) Plan {
-	return theorem2Plan{inner: theorem1Plan{a: a, seq: seq}}
+	return theorem2Plan{inner: theorem1Plan{build: vectorBuild(a), seq: seq}}
 }
 
 type theorem2Plan struct {
@@ -177,23 +186,27 @@ func UniformWeaklyDominated(a NonUniform, lambda []Param, doms []Domination, seq
 		}
 		sources = append(sources, src)
 	}
-	derived := NonUniformFunc{
-		AlgoName:  a.Name() + "/Θ3",
-		ParamList: lambda,
-		Build: func(guesses []int) local.Algorithm {
-			full := make([]int, len(sources))
-			for i, src := range sources {
-				if src.fromLambda >= 0 {
-					full[i] = guesses[src.fromLambda]
-				} else {
-					full[i] = MaxArg(src.dom, guesses[src.domIdx])
-					if full[i] < 1 {
-						full[i] = 1
-					}
+	// The Λ vector may repeat a parameter (two coordinates of the bound both
+	// tracking n, say), so it cannot round-trip through the typed Params —
+	// translate positionally here and cross the typed boundary only with the
+	// duplicate-free Γ of the real algorithm.
+	gamma := a.Params()
+	build := func(guesses []int) local.Algorithm {
+		var p Params
+		for i, src := range sources {
+			v := 0
+			if src.fromLambda >= 0 {
+				v = guesses[src.fromLambda]
+			} else {
+				v = MaxArg(src.dom, guesses[src.domIdx])
+				if v < 1 {
+					v = 1
 				}
 			}
-			return a.WithGuesses(full)
-		},
+			p = p.With(gamma[i], v)
+		}
+		return a.WithParams(p)
 	}
-	return Uniform(derived, seq, pruner), nil
+	plan := theorem1Plan{build: build, seq: seq}
+	return NewAlternating(fmt.Sprintf("uniform(%s/Θ3)", a.Name()), plan, pruner), nil
 }

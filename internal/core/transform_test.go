@@ -14,10 +14,10 @@ import (
 // as a NonUniform with Γ = {Δ, m} and its additive envelope.
 func misEngine() (NonUniform, SetSequence) {
 	nu := NonUniformFunc{
-		AlgoName:  "colormis",
-		ParamList: []Param{ParamMaxDegree, ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return colormis.New(g[0], int64(g[1]))
+		AlgoName: "colormis",
+		Needs:    []Param{ParamMaxDegree, ParamMaxID},
+		Build: func(p Params) local.Algorithm {
+			return colormis.New(p.Delta, p.M)
 		},
 	}
 	seq := Additive(colormis.BoundDelta, colormis.BoundM)
@@ -28,10 +28,10 @@ func misEngine() (NonUniform, SetSequence) {
 // Γ = {n}.
 func lubyEngine() (NonUniform, SetSequence) {
 	nu := NonUniformFunc{
-		AlgoName:  "luby-truncated",
-		ParamList: []Param{ParamN},
-		Build: func(g []int) local.Algorithm {
-			return luby.Truncated(g[0])
+		AlgoName: "luby-truncated",
+		Needs:    []Param{ParamN},
+		Build: func(p Params) local.Algorithm {
+			return luby.Truncated(p.N)
 		},
 	}
 	seq := Additive(func(n int) int { return luby.Rounds(n) })
@@ -104,7 +104,7 @@ func TestTheorem1MatchesNonUniformAsymptotics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		correct := nu.WithGuesses([]int{g.MaxDegree(), int(g.MaxIDValue())})
+		correct := nu.WithParams(Params{Delta: g.MaxDegree(), M: g.MaxIDValue()})
 		resN, err := local.Run(g, correct, local.Options{Seed: 1})
 		if err != nil {
 			t.Fatal(err)

@@ -33,23 +33,13 @@ import (
 	"github.com/unilocal/unilocal/internal/mathutil"
 )
 
-// CorrectGuesses returns the true parameter values (Δ, m, n, a-upper-bound)
-// of a graph, the guesses a non-uniform baseline is fed.
-func CorrectGuesses(g *graph.Graph) (delta int, m int64, n int, arb int) {
-	delta = g.MaxDegree()
-	m = g.MaxIDValue()
-	if m < 1 {
-		m = 1
-	}
-	n = g.N()
-	if n < 1 {
-		n = 1
-	}
-	_, arb = graph.ArboricityBounds(g)
-	if arb < 1 {
-		arb = 1
-	}
-	return delta, m, n, arb
+// GraphParams measures the true parameter vector (n, Δ, arboricity upper
+// bound, m) of a graph — the values a non-uniform baseline is fed under
+// exact knowledge. The domain floor on degenerate values (n, a, m raised to
+// at least 1; Δ untouched) is core.NewParams's documented policy.
+func GraphParams(g *graph.Graph) core.Params {
+	_, arb := graph.ArboricityBounds(g)
+	return core.NewParams(g.N(), g.MaxDegree(), arb, g.MaxIDValue())
 }
 
 // --- Row "Det. MIS and (Δ+1)-coloring, O(Δ + log* n)" (BE/Kuhn regime) ---
@@ -58,19 +48,18 @@ func CorrectGuesses(g *graph.Graph) (delta int, m int64, n int, arb int) {
 // Γ = {Δ, m} and an additive bound.
 func MISDeltaEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "colormis",
-		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return colormis.New(g[0], int64(g[1]))
+		AlgoName: "colormis",
+		Needs:    []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return colormis.New(p.Delta, p.M)
 		},
 	}
 	return nu, core.Additive(colormis.BoundDelta, colormis.BoundM)
 }
 
-// NonUniformMISDelta is the baseline with correct guesses.
-func NonUniformMISDelta(g *graph.Graph) local.Algorithm {
-	d, m, _, _ := CorrectGuesses(g)
-	return colormis.New(d, m)
+// NonUniformMISDelta is the baseline under the advertised parameters.
+func NonUniformMISDelta(p core.Params) local.Algorithm {
+	return colormis.New(p.Delta, p.M)
 }
 
 // UniformMISDelta is the Theorem 1 uniform MIS (Corollary 2, first item).
@@ -85,19 +74,18 @@ func UniformMISDelta() local.Algorithm {
 // MISIDEngine is the truncated sequential-greedy MIS with Γ = {m}.
 func MISIDEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "seqmis",
-		ParamList: []core.Param{core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return seqmis.Truncated(g[0])
+		AlgoName: "seqmis",
+		Needs:    []core.Param{core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return seqmis.Truncated(int(p.M))
 		},
 	}
 	return nu, core.Additive(seqmis.Rounds)
 }
 
-// NonUniformMISID is the baseline with correct guesses.
-func NonUniformMISID(g *graph.Graph) local.Algorithm {
-	_, m, _, _ := CorrectGuesses(g)
-	return seqmis.Truncated(int(m))
+// NonUniformMISID is the baseline under the advertised parameters.
+func NonUniformMISID(p core.Params) local.Algorithm {
+	return seqmis.Truncated(int(p.M))
 }
 
 // UniformMISID is the Theorem 1 uniform MIS whose time depends on m only.
@@ -112,10 +100,10 @@ func UniformMISID() local.Algorithm {
 // product-form bound f(ñ)·(f(ã)+f(m̃)) of Observation 4.1.
 func MISArbEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "arbmis",
-		ParamList: []core.Param{core.ParamN, core.ParamArboricity, core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return arbmis.New(g[1], g[0], int64(g[2]))
+		AlgoName: "arbmis",
+		Needs:    []core.Param{core.ParamN, core.ParamArboricity, core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return arbmis.New(p.Arb, p.N, p.M)
 		},
 	}
 	seq := core.Product(
@@ -125,11 +113,10 @@ func MISArbEngine() (core.NonUniform, core.SetSequence) {
 	return nu, seq
 }
 
-// NonUniformMISArb is the baseline with correct guesses (arboricity taken
-// as its degeneracy upper bound).
-func NonUniformMISArb(g *graph.Graph) local.Algorithm {
-	_, m, n, a := CorrectGuesses(g)
-	return arbmis.New(a, n, m)
+// NonUniformMISArb is the baseline under the advertised parameters
+// (arboricity taken as its degeneracy upper bound).
+func NonUniformMISArb(p core.Params) local.Algorithm {
+	return arbmis.New(p.Arb, p.N, p.M)
 }
 
 // UniformMISArb is the Theorem 1 uniform arboricity MIS (Corollaries 3/4).
@@ -175,10 +162,10 @@ func LubyMIS() local.Algorithm { return luby.New() }
 // Las Vegas MIS.
 func LasVegasMIS() local.Algorithm {
 	nu := core.NonUniformFunc{
-		AlgoName:  "luby-truncated",
-		ParamList: []core.Param{core.ParamN},
-		Build: func(g []int) local.Algorithm {
-			return luby.Truncated(g[0])
+		AlgoName: "luby-truncated",
+		Needs:    []core.Param{core.ParamN},
+		Build: func(p core.Params) local.Algorithm {
+			return luby.Truncated(p.N)
 		},
 	}
 	return core.LasVegas(nu, core.Additive(luby.Rounds), core.MISPruner())
@@ -188,20 +175,21 @@ func LasVegasMIS() local.Algorithm {
 // uniform Las Vegas (2, beta)-ruling set (Corollary 1(vii) slot).
 func LasVegasRulingSet(beta int) local.Algorithm {
 	nu := core.NonUniformFunc{
-		AlgoName:  "power-luby",
-		ParamList: []core.Param{core.ParamN},
-		Build: func(g []int) local.Algorithm {
-			return rulingset.TruncatedPowerLuby(beta, g[0])
+		AlgoName: "power-luby",
+		Needs:    []core.Param{core.ParamN},
+		Build: func(p core.Params) local.Algorithm {
+			return rulingset.TruncatedPowerLuby(beta, p.N)
 		},
 	}
 	seq := core.Additive(func(n int) int { return rulingset.PowerLubyRounds(beta, n) })
 	return core.LasVegas(nu, seq, core.RulingSetPruner(beta))
 }
 
-// NonUniformRulingSet is the weak Monte Carlo baseline with correct guesses.
-func NonUniformRulingSet(beta int) func(g *graph.Graph) local.Algorithm {
-	return func(g *graph.Graph) local.Algorithm {
-		return rulingset.TruncatedPowerLuby(beta, g.N())
+// NonUniformRulingSet is the weak Monte Carlo baseline under the advertised
+// parameters.
+func NonUniformRulingSet(beta int) func(p core.Params) local.Algorithm {
+	return func(p core.Params) local.Algorithm {
+		return rulingset.TruncatedPowerLuby(beta, p.N)
 	}
 }
 
@@ -210,19 +198,18 @@ func NonUniformRulingSet(beta int) func(g *graph.Graph) local.Algorithm {
 // MatchingEngine is the line-graph matching with Γ = {Δ, m}.
 func MatchingEngine() (core.NonUniform, core.SetSequence) {
 	nu := core.NonUniformFunc{
-		AlgoName:  "line-matching",
-		ParamList: []core.Param{core.ParamMaxDegree, core.ParamMaxID},
-		Build: func(g []int) local.Algorithm {
-			return matching.New(g[0], int64(g[1]))
+		AlgoName: "line-matching",
+		Needs:    []core.Param{core.ParamMaxDegree, core.ParamMaxID},
+		Build: func(p core.Params) local.Algorithm {
+			return matching.New(p.Delta, p.M)
 		},
 	}
 	return nu, core.Additive(matching.BoundDelta, matching.BoundM)
 }
 
-// NonUniformMatching is the baseline with correct guesses.
-func NonUniformMatching(g *graph.Graph) local.Algorithm {
-	d, m, _, _ := CorrectGuesses(g)
-	return matching.New(d, m)
+// NonUniformMatching is the baseline under the advertised parameters.
+func NonUniformMatching(p core.Params) local.Algorithm {
+	return matching.New(p.Delta, p.M)
 }
 
 // UniformMatching is the Theorem 1 uniform maximal matching.
@@ -293,11 +280,10 @@ func UniformLambdaColoring(lambda int) (local.Algorithm, error) {
 	return core.UniformColoring(LambdaColoringEngine{Lambda: lambda})
 }
 
-// NonUniformLambdaColoring is the baseline with correct guesses.
-func NonUniformLambdaColoring(lambda int) func(g *graph.Graph) local.Algorithm {
-	return func(g *graph.Graph) local.Algorithm {
-		d, m, _, _ := CorrectGuesses(g)
-		return coloralgo.Lambda(lambda, d, m)
+// NonUniformLambdaColoring is the baseline under the advertised parameters.
+func NonUniformLambdaColoring(lambda int) func(p core.Params) local.Algorithm {
+	return func(p core.Params) local.Algorithm {
+		return coloralgo.Lambda(lambda, p.Delta, p.M)
 	}
 }
 
@@ -310,9 +296,8 @@ func UniformDegPlusOneColoring(mis local.Algorithm) local.Algorithm {
 // --- Edge-coloring rows (Corollary 1(v), via the line-graph lift) ---
 
 // NonUniformEdgeColoring is the (2Δ−1)-edge-coloring baseline.
-func NonUniformEdgeColoring(g *graph.Graph) local.Algorithm {
-	d, m, _, _ := CorrectGuesses(g)
-	return edgecolor.New(d, m)
+func NonUniformEdgeColoring(p core.Params) local.Algorithm {
+	return edgecolor.New(p.Delta, p.M)
 }
 
 // UniformEdgeColoring runs the Theorem 5 uniform coloring on the line

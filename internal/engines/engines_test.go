@@ -3,6 +3,7 @@ package engines
 import (
 	"testing"
 
+	"github.com/unilocal/unilocal/internal/core"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/problems"
@@ -64,12 +65,12 @@ func TestAllMISEnginesProduceValidMIS(t *testing.T) {
 
 func TestNonUniformBaselines(t *testing.T) {
 	for gname, g := range suite(t) {
-		for aname, build := range map[string]func(*graph.Graph) local.Algorithm{
+		for aname, build := range map[string]func(core.Params) local.Algorithm{
 			"colormis": NonUniformMISDelta,
 			"seqmis":   NonUniformMISID,
 			"arbmis":   NonUniformMISArb,
 		} {
-			in, _ := runBools(t, g, build(g), 3)
+			in, _ := runBools(t, g, build(GraphParams(g)), 3)
 			if err := problems.ValidMIS(g, in); err != nil {
 				t.Errorf("%s on %s: %v", aname, gname, err)
 			}
@@ -91,7 +92,7 @@ func TestUniformMatchingRow(t *testing.T) {
 
 func TestNonUniformMatchingBaseline(t *testing.T) {
 	for gname, g := range suite(t) {
-		res, err := local.Run(g, NonUniformMatching(g), local.Options{Seed: 5})
+		res, err := local.Run(g, NonUniformMatching(GraphParams(g)), local.Options{Seed: 5})
 		if err != nil {
 			t.Fatalf("%s: %v", gname, err)
 		}
@@ -172,7 +173,7 @@ func TestEdgeColoringRows(t *testing.T) {
 		if g.NumEdges() == 0 {
 			continue
 		}
-		res, err := local.Run(g, NonUniformEdgeColoring(g), local.Options{})
+		res, err := local.Run(g, NonUniformEdgeColoring(GraphParams(g)), local.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", gname, err)
 		}

@@ -38,7 +38,7 @@ func TestRatioFlatAcrossSizes(t *testing.T) {
 			t.Fatal(err)
 		}
 		graphs = append(graphs, g)
-		baseline := NonUniformMISDelta(g)
+		baseline := NonUniformMISDelta(GraphParams(g))
 		jobs = append(jobs,
 			sweeppkg.Job{Label: fmt.Sprintf("n=%d/uniform", n), Graph: g,
 				Algo: func() local.Algorithm { return uniform }, Seed: 1},
@@ -101,7 +101,7 @@ func TestLambdaTradeoffShape(t *testing.T) {
 	}
 	prev := 1 << 30
 	for _, lambda := range []int{1, 2, 4, 8, 16} {
-		res, err := local.Run(g, NonUniformLambdaColoring(lambda)(g), local.Options{})
+		res, err := local.Run(g, NonUniformLambdaColoring(lambda)(GraphParams(g)), local.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

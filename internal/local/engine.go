@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 
@@ -50,6 +51,14 @@ type Options struct {
 	// State must not be used by two Runs concurrently; results are
 	// byte-identical either way.
 	State *RunState
+	// Permute, when non-nil, steps each round's frontier in a seeded
+	// pseudo-random order instead of ascending node order — the adversarial
+	// message-delivery permutation of the synchronous model. A round's sends
+	// are invisible until the next round (the two message lanes), so results
+	// are byte-identical to the lockstep order at any worker count; what the
+	// permutation diversifies is the memory-access and worker-partition
+	// order, which the determinism tests pin.
+	Permute *Permute
 }
 
 // Result reports the outcome of a simulation.
@@ -217,6 +226,11 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 		}()
 	}
 
+	var permRng *rand.Rand
+	if opts.Permute != nil {
+		permRng = rand.New(rand.NewPCG(DeriveSeeds(opts.Seed^opts.Permute.Seed, -2, permuteStream)))
+	}
+
 	ctx := opts.Context
 	for r := 0; r < maxRounds && len(frontier) > 0; r++ {
 		// One cancellation check per round: server timeouts and client
@@ -230,6 +244,11 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 					ErrCanceled, ctx.Err(), a.Name(), r, len(frontier), n)
 			default:
 			}
+		}
+		if permRng != nil {
+			permRng.Shuffle(len(frontier), func(i, j int) {
+				frontier[i], frontier[j] = frontier[j], frontier[i]
+			})
 		}
 		live := len(frontier)
 		nw := workers

@@ -1,0 +1,94 @@
+package local_test
+
+// Adversarial-scheduler determinism tests: the staggered wake-up and the
+// frontier permutation are pure functions of their seeds — byte-identical at
+// every worker count and reproducible run to run — and the permutation is
+// provably invisible in results (the two message lanes make frontier order
+// unobservable), while the wake-up skew is observable by design.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unilocal/unilocal/internal/local"
+)
+
+func TestStaggeredWakeupDeterministicAcrossWorkers(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		a := local.StaggeredWakeup(waveAlgo(4, 3), 7, 8)
+		want, err := local.Run(g, a, local.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		for _, w := range workerCounts() {
+			got, err := local.Run(g, a, local.Options{Seed: 1, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", gname, w, err)
+			}
+			sameResult(t, gname, want, got)
+		}
+		// Reproducible run to run from the same seeds.
+		again, err := local.Run(g, a, local.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, gname+" replay", want, again)
+	}
+}
+
+// TestStaggeredWakeupObservable pins that the skew is a real adversary, not
+// a no-op: delayed wake-ups stretch the execution relative to lockstep, and
+// a different scheduler seed yields a different (but individually
+// deterministic) schedule.
+func TestStaggeredWakeupObservable(t *testing.T) {
+	g := testGraphs(t)["random"]
+	base, err := local.Run(g, waveAlgo(4, 3), local.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew7, err := local.Run(g, local.StaggeredWakeup(waveAlgo(4, 3), 7, 8), local.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew7.Rounds <= base.Rounds {
+		t.Errorf("staggered run took %d rounds, lockstep %d: the skew is invisible", skew7.Rounds, base.Rounds)
+	}
+	skew8, err := local.Run(g, local.StaggeredWakeup(waveAlgo(4, 3), 8, 8), local.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(skew7.HaltRounds, skew8.HaltRounds) {
+		t.Error("two scheduler seeds produced identical halt schedules")
+	}
+}
+
+// TestStaggeredWakeupZeroDelayIsIdentity pins the fast path: a non-positive
+// delay bound returns the algorithm unchanged, not a degenerate wrapper.
+func TestStaggeredWakeupZeroDelayIsIdentity(t *testing.T) {
+	a := &struct{ local.Algorithm }{waveAlgo(2, 1)}
+	if got := local.StaggeredWakeup(a, 7, 0); got != local.Algorithm(a) {
+		t.Error("maxDelay=0 did not return the algorithm unchanged")
+	}
+}
+
+// TestPermuteInvisibleInResults checks the engine-design theorem the
+// permuted scheduler leans on: sends land in the next round's lane, so the
+// order nodes step within one round cannot affect any result field. A
+// permuted run must be identical to lockstep — at every worker count.
+func TestPermuteInvisibleInResults(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		want, err := local.Run(g, waveAlgo(4, 3), local.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		for _, w := range workerCounts() {
+			got, err := local.Run(g, waveAlgo(4, 3), local.Options{
+				Seed: 1, Workers: w, Permute: &local.Permute{Seed: 9},
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", gname, w, err)
+			}
+			sameResult(t, gname, want, got)
+		}
+	}
+}

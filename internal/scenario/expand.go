@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"github.com/unilocal/unilocal/internal/benchfmt"
+	"github.com/unilocal/unilocal/internal/core"
+	"github.com/unilocal/unilocal/internal/engines"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
 	"github.com/unilocal/unilocal/internal/sweep"
@@ -32,10 +34,25 @@ type JobMeta struct {
 	// repetition index.
 	Seed int64
 	Rep  int
-	// RatioOf is the job index of the same (seed, rep)'s baseline run, or -1.
+	// Know is the knowledge regime this job's algorithm was built under; the
+	// zero value (exact) for uniform algorithms and default-regime corpora.
+	Know core.Knowledge
+	// RatioOf is the job index of the same (seed, rep)'s tightest baseline
+	// run, or -1.
 	RatioOf int
 	// check validates the run's outputs, or is nil.
 	check func(outputs []any) error
+}
+
+// label renders the benchfmt record label of one job: role/seed/rep, with a
+// λ suffix under non-exact knowledge. Doc and SlotsDoc both write exactly
+// this (a serve test pins the two paths together).
+func (m *JobMeta) label() string {
+	l := fmt.Sprintf("%s/seed=%d/rep=%d", m.Role, m.Seed, m.Rep)
+	if !m.Know.IsExact() {
+		l += fmt.Sprintf("/lam=%g", m.Know.Looseness)
+	}
+	return l
 }
 
 // Batch is an expanded corpus: the jobs in deterministic order (spec order,
@@ -93,7 +110,20 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 		b.Graphs = append(b.Graphs, g)
 		b.Plans = append(b.Plans, p)
 
-		build := func(as AlgoSpec) (local.Algorithm, func([]any) error, error) {
+		// The true parameter vector is measured once per spec graph; each
+		// PerGraph build receives it filtered through the job's knowledge
+		// regime (exact by default, inflated under upper-bound).
+		trueParams := engines.GraphParams(g)
+		type buildKey struct {
+			as   AlgoSpec
+			know core.Knowledge
+		}
+		type buildVal struct {
+			algo  local.Algorithm
+			check func([]any) error
+		}
+		built := make(map[buildKey]buildVal)
+		build := func(as AlgoSpec, know core.Knowledge) (local.Algorithm, func([]any) error, error) {
 			entry, ok := LookupAlgorithm(as.Name)
 			if !ok {
 				return nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, as.Name)
@@ -107,47 +137,50 @@ func Expand(specs []*Spec, opts ExpandOptions) (*Batch, error) {
 					b.AlgoShares++
 					return a, check, nil
 				}
+			} else if v, ok := built[buildKey{as, know}]; ok {
+				return v.algo, v.check, nil
 			}
-			a, err := entry.Build(g, as)
+			params := core.Params{}
+			if entry.PerGraph {
+				var err error
+				params, err = know.Advertise(trueParams)
+				if err != nil {
+					return nil, nil, fmt.Errorf("scenario %s: algorithm %s: %w", s.Name, as.Name, err)
+				}
+			}
+			a, err := entry.Build(params, as)
 			if err != nil {
 				return nil, nil, fmt.Errorf("scenario %s: algorithm %s: %w", s.Name, as.Name, err)
 			}
 			b.AlgoBuilds++
 			if !entry.PerGraph {
 				shared[as] = a
+			} else {
+				built[buildKey{as, know}] = buildVal{algo: a, check: check}
 			}
 			return a, check, nil
 		}
 
-		algo, algoCheck, err := build(s.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-		var baseline local.Algorithm
-		var baselineCheck func([]any) error
-		if s.Baseline != nil {
-			baseline, baselineCheck, err = build(*s.Baseline)
-			if err != nil {
-				return nil, err
-			}
-		}
-
 		// The plan already fixed the grid: attach the built graph, algorithm
 		// values and checkers to its slots, re-basing RatioOf from plan-local
-		// to batch-global indices.
+		// to batch-global indices. The scheduler wraps each job's algorithm
+		// value — a pure function of (spec, job seed), so wrapped jobs keep
+		// the determinism contract.
 		baseIdx := len(b.Jobs)
 		for k := range p.Metas {
 			m := p.Metas[k]
-			a, check := algo, algoCheck
-			if m.Role == "baseline" {
-				a, check = baseline, baselineCheck
+			a, check, err := build(m.Algo, m.Know)
+			if err != nil {
+				return nil, err
 			}
+			a = s.Scheduler.wrapAlgo(a, m.Seed)
 			b.Jobs = append(b.Jobs, sweep.Job{
 				Label:     p.Labels[k],
 				Graph:     g,
 				Algo:      func() local.Algorithm { return a },
 				Seed:      m.Seed,
 				MaxRounds: s.MaxRounds,
+				Permute:   s.Scheduler.permuteOpt(),
 			})
 			m.Spec = si
 			if m.RatioOf >= 0 {
@@ -226,7 +259,7 @@ func SlotsDoc(p *Plan, info GraphInfo, slots []SlotOutcome, seed int64) (*benchf
 		m := &p.Metas[i]
 		rec := benchfmt.Record{
 			Experiment: p.Spec.Name,
-			Label:      fmt.Sprintf("%s/seed=%d/rep=%d", m.Role, m.Seed, m.Rep),
+			Label:      m.label(),
 			Algorithm:  m.Algo.String(),
 			N:          info.N,
 			Rounds:     slots[i].Rounds,
@@ -260,7 +293,7 @@ func Doc(b *Batch, results []sweep.Result, stats sweep.Stats, seed int64, parall
 		}
 		rec := benchfmt.Record{
 			Experiment: b.Specs[m.Spec].Name,
-			Label:      fmt.Sprintf("%s/seed=%d/rep=%d", m.Role, m.Seed, m.Rep),
+			Label:      m.label(),
 			Algorithm:  m.Algo.String(),
 			N:          b.Graphs[m.Spec].N(),
 			Rounds:     r.Res.Rounds,

@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"github.com/unilocal/unilocal/internal/core"
 )
 
 // Plan is the graph-free half of a spec's expansion: the job grid — metas
 // and labels in slot order — computed without building a single graph or
 // algorithm. The grid shape is a pure function of the spec (seed grid ×
-// repetitions × algorithms, baseline preceding the algorithm under test),
-// so a coordinator can know every slot a remote shard must report, and what
-// each slot means, without paying for expansion itself. RatioOf indices are
-// slot indices into this plan (Expand re-bases them when it concatenates
-// specs into one batch).
+// repetitions × algorithms, baseline preceding the algorithm under test;
+// under an upper-bound knowledge grid every PerGraph role runs once per λ,
+// in grid order), so a coordinator can know every slot a remote shard must
+// report, and what each slot means, without paying for expansion itself.
+// RatioOf indices are slot indices into this plan (Expand re-bases them
+// when it concatenates specs into one batch). The uniform run's ratio is
+// taken against the tightest (first-λ) baseline.
 type Plan struct {
 	Spec   *Spec
 	Metas  []JobMeta
@@ -27,10 +31,16 @@ func PlanOf(s *Spec, seedOffset int64) (*Plan, error) {
 		return nil, err
 	}
 	p := &Plan{Spec: s}
-	add := func(as AlgoSpec, role string, seed int64, rep int) int {
+	add := func(as AlgoSpec, role string, seed int64, rep int, know core.Knowledge) int {
 		idx := len(p.Metas)
-		p.Metas = append(p.Metas, JobMeta{Algo: as, Role: role, Seed: seed, Rep: rep, RatioOf: -1})
-		p.Labels = append(p.Labels, fmt.Sprintf("%s/%s/seed=%d/rep=%d", s.Name, as.Name, seed, rep))
+		p.Metas = append(p.Metas, JobMeta{Algo: as, Role: role, Seed: seed, Rep: rep, Know: know, RatioOf: -1})
+		label := fmt.Sprintf("%s/%s/seed=%d/rep=%d", s.Name, as.Name, seed, rep)
+		// Only the non-default regimes suffix the label, so exact-knowledge
+		// corpora keep their committed labels byte for byte.
+		if !know.IsExact() {
+			label += fmt.Sprintf("/lam=%g", know.Looseness)
+		}
+		p.Labels = append(p.Labels, label)
 		return idx
 	}
 	for _, sd := range s.seeds() {
@@ -38,10 +48,17 @@ func PlanOf(s *Spec, seedOffset int64) (*Plan, error) {
 		for rep := 0; rep < s.repeat(); rep++ {
 			bi := -1
 			if s.Baseline != nil {
-				bi = add(*s.Baseline, "baseline", seed, rep)
+				for _, know := range s.knowledgeGrid(*s.Baseline) {
+					idx := add(*s.Baseline, "baseline", seed, rep, know)
+					if bi < 0 {
+						bi = idx
+					}
+				}
 			}
-			ui := add(s.Algorithm, "uniform", seed, rep)
-			p.Metas[ui].RatioOf = bi
+			for _, know := range s.knowledgeGrid(s.Algorithm) {
+				ui := add(s.Algorithm, "uniform", seed, rep, know)
+				p.Metas[ui].RatioOf = bi
+			}
 		}
 	}
 	return p, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/unilocal/unilocal/internal/core"
 	"github.com/unilocal/unilocal/internal/engines"
 	"github.com/unilocal/unilocal/internal/graph"
 	"github.com/unilocal/unilocal/internal/local"
@@ -61,7 +62,10 @@ type AlgoEntry struct {
 	NeedsLambda bool
 	NeedsBeta   bool
 	// Build constructs the algorithm for the given (validated) spec.
-	Build func(g *graph.Graph, as AlgoSpec) (local.Algorithm, error)
+	// PerGraph entries consume the advertised parameter vector p — the
+	// knowledge regime decides how loose it is relative to the concrete
+	// graph; uniform entries ignore it (that is the point of the paper).
+	Build func(p core.Params, as AlgoSpec) (local.Algorithm, error)
 	// Check validates a simulation's outputs on g, or is nil.
 	Check func(g *graph.Graph, as AlgoSpec, outputs []any) error
 }
@@ -104,7 +108,7 @@ var algorithms = map[string]AlgoEntry{
 	"uniform-mis-delta": {
 		Name: "uniform-mis-delta",
 		Doc:  "Theorem 1 uniform MIS from the colormis stack (Γ = {Δ, m})",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformMISDelta(), nil
 		},
 		Check: checkMIS,
@@ -112,15 +116,15 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-mis-delta": {
 		Name: "nonuniform-mis-delta", PerGraph: true,
 		Doc: "colormis baseline with correct {Δ, m}",
-		Build: func(g *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformMISDelta(g), nil
+		Build: func(p core.Params, _ AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformMISDelta(p), nil
 		},
 		Check: checkMIS,
 	},
 	"uniform-mis-id": {
 		Name: "uniform-mis-id",
 		Doc:  "Theorem 1 uniform MIS whose time depends on m only (greedy substitution)",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformMISID(), nil
 		},
 		Check: checkMIS,
@@ -128,15 +132,15 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-mis-id": {
 		Name: "nonuniform-mis-id", PerGraph: true,
 		Doc: "truncated greedy-by-identity baseline with correct m",
-		Build: func(g *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformMISID(g), nil
+		Build: func(p core.Params, _ AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformMISID(p), nil
 		},
 		Check: checkMIS,
 	},
 	"uniform-mis-arb": {
 		Name: "uniform-mis-arb",
 		Doc:  "Theorem 1 uniform MIS for bounded arboricity (Obs 4.1 product bound)",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformMISArb(), nil
 		},
 		Check: checkMIS,
@@ -144,15 +148,15 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-mis-arb": {
 		Name: "nonuniform-mis-arb", PerGraph: true,
 		Doc: "H-partition MIS baseline with correct {a, n, m}",
-		Build: func(g *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformMISArb(g), nil
+		Build: func(p core.Params, _ AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformMISArb(p), nil
 		},
 		Check: checkMIS,
 	},
 	"best-mis": {
 		Name: "best-mis",
 		Doc:  "Theorem 4 min of the Δ-, m- and arboricity-engines (Corollary 1(i))",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.BestMIS(), nil
 		},
 		Check: checkMIS,
@@ -160,7 +164,7 @@ var algorithms = map[string]AlgoEntry{
 	"luby-mis": {
 		Name: "luby-mis",
 		Doc:  "uniform randomized O(log n) MIS (Luby)",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.LubyMIS(), nil
 		},
 		Check: checkMIS,
@@ -168,7 +172,7 @@ var algorithms = map[string]AlgoEntry{
 	"lasvegas-mis": {
 		Name: "lasvegas-mis",
 		Doc:  "Theorem 2 Las Vegas MIS from truncated Luby",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.LasVegasMIS(), nil
 		},
 		Check: checkMIS,
@@ -176,7 +180,7 @@ var algorithms = map[string]AlgoEntry{
 	"uniform-lambda-coloring": {
 		Name: "uniform-lambda-coloring", NeedsLambda: true,
 		Doc: "Theorem 5 uniform λ(Δ+1)-style coloring (Corollary 1(iii))",
-		Build: func(_ *graph.Graph, as AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, as AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformLambdaColoring(as.Lambda)
 		},
 		Check: checkColoring(nil),
@@ -184,15 +188,15 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-lambda-coloring": {
 		Name: "nonuniform-lambda-coloring", PerGraph: true, NeedsLambda: true,
 		Doc: "λ-coloring baseline with correct {Δ, m}",
-		Build: func(g *graph.Graph, as AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformLambdaColoring(as.Lambda)(g), nil
+		Build: func(p core.Params, as AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformLambdaColoring(as.Lambda)(p), nil
 		},
 		Check: checkColoring(nil),
 	},
 	"uniform-quad-coloring": {
 		Name: "uniform-quad-coloring",
 		Doc:  "Theorem 5 uniform O(Δ²)-coloring in O(log* m) rounds",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformQuadColoring()
 		},
 		Check: checkColoring(nil),
@@ -200,7 +204,7 @@ var algorithms = map[string]AlgoEntry{
 	"uniform-deg-coloring": {
 		Name: "uniform-deg-coloring", PacksIDs: true,
 		Doc: "Section 5.1 uniform (deg+1)-coloring from uniform MIS (clique product)",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformDegPlusOneColoring(engines.LubyMIS()), nil
 		},
 		Check: checkColoring(func(g *graph.Graph) int { return g.MaxDegree() + 1 }),
@@ -208,7 +212,7 @@ var algorithms = map[string]AlgoEntry{
 	"uniform-matching": {
 		Name: "uniform-matching", PacksIDs: true,
 		Doc: "Theorem 1 uniform maximal matching (line-graph lift)",
-		Build: func(_ *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, _ AlgoSpec) (local.Algorithm, error) {
 			return engines.UniformMatching(), nil
 		},
 		Check: checkMatching,
@@ -216,15 +220,15 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-matching": {
 		Name: "nonuniform-matching", PerGraph: true, PacksIDs: true,
 		Doc: "line-graph matching baseline with correct {Δ, m}",
-		Build: func(g *graph.Graph, _ AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformMatching(g), nil
+		Build: func(p core.Params, _ AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformMatching(p), nil
 		},
 		Check: checkMatching,
 	},
 	"lasvegas-rulingset": {
 		Name: "lasvegas-rulingset", NeedsBeta: true,
 		Doc: "Theorem 2 Las Vegas (2,β)-ruling set from truncated power-graph Luby",
-		Build: func(_ *graph.Graph, as AlgoSpec) (local.Algorithm, error) {
+		Build: func(_ core.Params, as AlgoSpec) (local.Algorithm, error) {
 			return engines.LasVegasRulingSet(as.Beta), nil
 		},
 		Check: checkRulingSet,
@@ -232,8 +236,8 @@ var algorithms = map[string]AlgoEntry{
 	"nonuniform-rulingset": {
 		Name: "nonuniform-rulingset", PerGraph: true, NeedsBeta: true,
 		Doc: "truncated power-graph Luby baseline with correct n",
-		Build: func(g *graph.Graph, as AlgoSpec) (local.Algorithm, error) {
-			return engines.NonUniformRulingSet(as.Beta)(g), nil
+		Build: func(p core.Params, as AlgoSpec) (local.Algorithm, error) {
+			return engines.NonUniformRulingSet(as.Beta)(p), nil
 		},
 		Check: checkRulingSet,
 	},

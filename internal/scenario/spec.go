@@ -31,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 
+	"github.com/unilocal/unilocal/internal/core"
 	"github.com/unilocal/unilocal/internal/graph"
 )
 
@@ -180,6 +181,14 @@ type Spec struct {
 	// (seed, rep) also runs the baseline and the table reports the
 	// uniform/baseline round ratio.
 	Baseline *AlgoSpec `json:"baseline,omitempty"`
+	// Knowledge selects the knowledge regime of non-uniform algorithms
+	// (default: exact — the measured parameters, today's behavior). Under
+	// the upper-bound regime every PerGraph role runs once per looseness
+	// factor λ, fed ⌈λ·true⌉ parameters.
+	Knowledge KnowledgeSpec `json:"knowledge,omitzero"`
+	// Scheduler selects a deterministic adversarial scheduler for every run
+	// (default: clean lockstep).
+	Scheduler SchedSpec `json:"scheduler,omitzero"`
 	// Seeds is the simulation seed grid (default: [1]).
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Repeat runs every seed this many times (default: 1). Repetitions are
@@ -203,6 +212,12 @@ func (s *Spec) Validate() error {
 	if err := s.IDs.Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	if err := s.Knowledge.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Scheduler.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	for _, as := range s.algoSpecs() {
 		if err := as.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -213,6 +228,13 @@ func (s *Spec) Validate() error {
 		if entry.PacksIDs && s.IDs.effectiveMaxID(1) > graph.MaxID {
 			return fmt.Errorf("scenario %s: algorithm %s packs identity pairs and cannot run under ids regime %s (max_id %d > %d)",
 				s.Name, as.Name, s.IDs.Regime, s.IDs.effectiveMaxID(1), graph.MaxID)
+		}
+		// Under the none regime no parameters are advertised, so a
+		// non-uniform algorithm cannot run at all — reject the pairing at
+		// validation time instead of at expansion.
+		if entry.PerGraph && s.Knowledge.Regime == core.KnowNone {
+			return fmt.Errorf("scenario %s: knowledge regime %s advertises no parameters; non-uniform algorithm %s cannot run (drop it or pick exact/upper-bound)",
+				s.Name, core.KnowNone, as.Name)
 		}
 	}
 	seen := make(map[int64]bool, len(s.Seeds))
@@ -256,13 +278,27 @@ func (s *Spec) repeat() int {
 	return s.Repeat
 }
 
+// knowledgeGrid returns the per-job knowledge values one role expands into:
+// the spec's looseness grid for PerGraph (non-uniform) entries, a single
+// exact value for uniform ones, which never receive parameters.
+func (s *Spec) knowledgeGrid(as AlgoSpec) []core.Knowledge {
+	if e, ok := LookupAlgorithm(as.Name); ok && e.PerGraph {
+		return s.Knowledge.Grid()
+	}
+	return []core.Knowledge{{}}
+}
+
 // ApproxJobs returns the number of sweep jobs the spec expands into (seed
-// grid × repetitions × algorithms, the baseline counted), saturating at
-// math.MaxInt so serving-layer admission checks can bound it without
-// overflow. It lives beside the expansion it models: if Expand's job shape
-// changes, this estimate must change with it.
+// grid × repetitions × Σ per-role knowledge-grid width, the baseline
+// counted), saturating at math.MaxInt so serving-layer admission checks can
+// bound it without overflow. It lives beside the expansion it models: if
+// Expand's job shape changes, this estimate must change with it.
 func (s *Spec) ApproxJobs() int {
-	return satMulInt(satMulInt(len(s.seeds()), s.repeat()), len(s.algoSpecs()))
+	per := 0
+	for _, as := range s.algoSpecs() {
+		per = satAddInt(per, len(s.knowledgeGrid(as)))
+	}
+	return satMulInt(satMulInt(len(s.seeds()), s.repeat()), per)
 }
 
 // Parse decodes and validates one scenario spec from raw JSON. Unknown

@@ -3,7 +3,9 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"github.com/unilocal/unilocal/internal/core"
 	"github.com/unilocal/unilocal/internal/graph"
 )
 
@@ -44,14 +46,32 @@ type Row struct {
 	Ratio    string
 }
 
+// SweepRow is one (seed, rep) line of a looseness-sweep pivot: the uniform
+// algorithm's rounds next to the baseline's rounds at every λ of the grid.
+type SweepRow struct {
+	Seed     int64
+	Rep      int
+	Uniform  int
+	Baseline []int
+}
+
 // Section is one scenario's slice of the render model.
 type Section struct {
 	Name        string
 	Description string
 	Graph       string
 	IDs         string
-	Info        GraphInfo
-	Rows        []Row
+	// Knowledge and Scheduler render in the header only when the spec sets
+	// a non-default regime, so exact-knowledge corpora stay byte-identical.
+	Knowledge string
+	Scheduler string
+	Info      GraphInfo
+	Rows      []Row
+	// Looseness and Sweep carry the pivot table of an upper-bound spec with
+	// a multi-λ grid and a single uniform run per (seed, rep); empty
+	// otherwise.
+	Looseness []float64
+	Sweep     []SweepRow
 }
 
 // Table is the deterministic render model of a whole corpus document. Both
@@ -83,14 +103,24 @@ func SectionFrom(p *Plan, info GraphInfo, slots []SlotOutcome) (Section, error) 
 		Info:        info,
 		Rows:        make([]Row, 0, len(p.Metas)),
 	}
+	if !s.Knowledge.IsDefault() {
+		sec.Knowledge = s.Knowledge.String()
+	}
+	if !s.Scheduler.IsDefault() {
+		sec.Scheduler = s.Scheduler.String()
+	}
 	for i := range p.Metas {
 		m := &p.Metas[i]
 		ratio := "—"
 		if m.RatioOf >= 0 {
 			ratio = fmt.Sprintf("%.2f", float64(slots[i].Rounds)/float64(slots[m.RatioOf].Rounds))
 		}
+		algo := m.Algo.String()
+		if !m.Know.IsExact() {
+			algo = fmt.Sprintf("%s @ λ=%g", algo, m.Know.Looseness)
+		}
 		sec.Rows = append(sec.Rows, Row{
-			Algo:     m.Algo.String(),
+			Algo:     algo,
 			Role:     m.Role,
 			Seed:     m.Seed,
 			Rep:      m.Rep,
@@ -99,7 +129,42 @@ func SectionFrom(p *Plan, info GraphInfo, slots []SlotOutcome) (Section, error) 
 			Ratio:    ratio,
 		})
 	}
+	sec.Looseness, sec.Sweep = sweepPivot(p, slots)
 	return sec, nil
+}
+
+// sweepPivot reduces an upper-bound spec's slots to the looseness pivot:
+// one row per (seed, rep) with the uniform rounds and the baseline rounds
+// at every λ, in grid order. It applies only to the canonical sweep shape —
+// a multi-λ grid on the baseline, a single (exact) uniform run — and
+// returns nothing otherwise. Like every rendered field it is a pure
+// function of (plan, slots), so the distributed merge path pivots
+// identically to the single-process one.
+func sweepPivot(p *Plan, slots []SlotOutcome) ([]float64, []SweepRow) {
+	s := p.Spec
+	if s.Knowledge.Regime != core.KnowUpperBound || s.Baseline == nil {
+		return nil, nil
+	}
+	grid := s.Knowledge.Grid()
+	if len(grid) < 2 || len(s.knowledgeGrid(s.Algorithm)) != 1 {
+		return nil, nil
+	}
+	lams := make([]float64, len(grid))
+	for i, k := range grid {
+		lams[i] = k.Looseness
+	}
+	var rows []SweepRow
+	perGroup := len(grid) + 1 // λ baselines then one uniform, per (seed, rep)
+	for base := 0; base+perGroup <= len(p.Metas); base += perGroup {
+		m := &p.Metas[base]
+		row := SweepRow{Seed: m.Seed, Rep: m.Rep, Baseline: make([]int, len(grid))}
+		for i := range grid {
+			row.Baseline[i] = slots[base+i].Rounds
+		}
+		row.Uniform = slots[base+len(grid)].Rounds
+		rows = append(rows, row)
+	}
+	return lams, rows
 }
 
 // Write renders the document. Every written field is deterministic, so two
@@ -115,13 +180,40 @@ func (t *Table) Write(w io.Writer) error {
 		if sec.Description != "" {
 			fmt.Fprintf(ew, "%s\n\n", sec.Description)
 		}
-		fmt.Fprintf(ew, "graph: %s · ids: %s · n=%d · edges=%d · Δ=%d · m=%d\n\n",
+		fmt.Fprintf(ew, "graph: %s · ids: %s · n=%d · edges=%d · Δ=%d · m=%d",
 			sec.Graph, sec.IDs, sec.Info.N, sec.Info.Edges, sec.Info.MaxDeg, sec.Info.MaxID)
+		if sec.Knowledge != "" {
+			fmt.Fprintf(ew, " · knowledge: %s", sec.Knowledge)
+		}
+		if sec.Scheduler != "" {
+			fmt.Fprintf(ew, " · scheduler: %s", sec.Scheduler)
+		}
+		fmt.Fprint(ew, "\n\n")
 		fmt.Fprintln(ew, "| algorithm | role | seed | rep | rounds | messages | ratio |")
 		fmt.Fprintln(ew, "|---|---|---|---|---|---|---|")
 		for _, r := range sec.Rows {
 			fmt.Fprintf(ew, "| %s | %s | %d | %d | %d | %d | %s |\n",
 				r.Algo, r.Role, r.Seed, r.Rep, r.Rounds, r.Messages, r.Ratio)
+		}
+		if len(sec.Sweep) > 0 {
+			fmt.Fprintln(ew, "\nOverhead vs looseness (baseline rounds per λ; ×u is the overhead over the uniform run):")
+			fmt.Fprintln(ew)
+			var h, d strings.Builder
+			h.WriteString("| seed | rep | uniform |")
+			d.WriteString("|---|---|---|")
+			for _, lam := range sec.Looseness {
+				fmt.Fprintf(&h, " λ=%g |", lam)
+				d.WriteString("---|")
+			}
+			fmt.Fprintln(ew, h.String())
+			fmt.Fprintln(ew, d.String())
+			for _, r := range sec.Sweep {
+				fmt.Fprintf(ew, "| %d | %d | %d |", r.Seed, r.Rep, r.Uniform)
+				for _, b := range r.Baseline {
+					fmt.Fprintf(ew, " %d (×u %.2f) |", b, float64(b)/float64(r.Uniform))
+				}
+				fmt.Fprintln(ew)
+			}
 		}
 	}
 	return ew.err

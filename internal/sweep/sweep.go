@@ -60,6 +60,9 @@ type Job struct {
 	Seed int64
 	// MaxRounds caps the simulation; 0 means the engine default.
 	MaxRounds int
+	// Permute, when non-nil, selects the engine's adversarial per-round
+	// delivery permutation for this job (see local.Options.Permute).
+	Permute *local.Permute
 }
 
 // Result is the outcome of one job.
@@ -245,6 +248,7 @@ func Run(jobs []Job, opts Options) (Results, Stats) {
 			o.Seed = j.Seed
 			o.MaxRounds = j.MaxRounds
 			o.State = st
+			o.Permute = j.Permute
 			before := st.Allocs()
 			t0 := time.Now()
 			res, err := local.Run(j.Graph, j.Algo(), o)
