@@ -3,8 +3,11 @@
 // declared in internal/benchfmt) and fails loudly on regressions:
 //
 //   - Deterministic fields (experiment, label, algorithm, n, rounds,
-//     messages, ratio) must match record for record: a mismatch means the
-//     reproduction itself changed, which a perf PR must never do silently.
+//     messages, steps, ratio) must match record for record: a mismatch means
+//     the reproduction itself changed, which a perf PR must never do
+//     silently. The schema-v4 instruction block's deterministic members
+//     (node-steps, steps/job, frontier occupancy) are held to the same
+//     standard.
 //
 //   - Pinned hot-path experiments (-pin, default the transformer-heavy
 //     tables) must not regress their wall time by more than -tolerance
@@ -17,6 +20,12 @@
 //     -normalize=false compares raw wall times (same-machine A/B runs);
 //     -tolerance -1 disables the timing gate entirely.
 //
+//   - The instructions-per-job trend (schema v4: sweep ns per node-step)
+//     must not regress by more than -instr-tolerance (default 20%) after
+//     the same machine normalization. The trend line is printed whether it
+//     moved up or down, so wins land in the CI log too; -instr-tolerance -1
+//     disables only this gate.
+//
 // Files that cannot be compared meaningfully — different seed/large flags,
 // different -parallel/-workers settings, or an unknown schema version — are
 // an error, not a silent skip: a stale or misgenerated baseline must not
@@ -25,7 +34,7 @@
 // Usage:
 //
 //	benchguard -old BENCH.json -new BENCH.ci.json [-tolerance 0.20]
-//	           [-pin E1,E3,E6] [-normalize=true]
+//	           [-instr-tolerance 0.20] [-pin E1,E3,E6] [-normalize=true]
 //
 // CI regenerates BENCH.ci.json on every commit and runs this guard against
 // the committed BENCH.json, so a hot-path regression fails the build with a
@@ -46,6 +55,7 @@ var (
 	flagOld       = flag.String("old", "BENCH.json", "committed baseline")
 	flagNew       = flag.String("new", "BENCH.ci.json", "freshly regenerated results")
 	flagTolerance = flag.Float64("tolerance", 0.20, "max allowed wall-time regression on pinned experiments (negative disables timing checks)")
+	flagInstrTol  = flag.Float64("instr-tolerance", 0.20, "max allowed ns-per-node-step regression on the schema-v4 instruction trend (negative disables it)")
 	flagPin       = flag.String("pin", "E1,E3,E6", "comma-separated experiments pinned for the timing check")
 	flagNormalize = flag.Bool("normalize", true, "compare per-experiment shares of total wall time (machine-independent) instead of raw wall times")
 )
@@ -87,7 +97,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("benchguard: %d records deterministic-identical (seed %d)\n", len(old.Results), old.Seed)
-	if *flagTolerance < 0 {
+	if *flagTolerance < 0 && *flagInstrTol < 0 {
 		fmt.Println("benchguard: timing checks disabled")
 		return nil
 	}
@@ -118,15 +128,25 @@ func checkDeterministic(old, fresh *benchfmt.Doc) error {
 				o.Family, o.N, o.Edges, o.ImageBytes, n.Family, n.N, n.Edges, n.ImageBytes)
 		}
 	}
+	if (old.Instr == nil) != (fresh.Instr == nil) {
+		return fmt.Errorf("instruction block present in one file only (old %v, new %v): regenerate both with the same localbench",
+			old.Instr != nil, fresh.Instr != nil)
+	}
+	if o, n := old.Instr, fresh.Instr; o != nil {
+		if o.NodeSteps != n.NodeSteps || o.StepsPerJob != n.StepsPerJob || o.FrontierOccupancy != n.FrontierOccupancy {
+			return fmt.Errorf("instruction block deterministic fields diverged: steps %d→%d steps/job %.2f→%.2f occupancy %.4f→%.4f",
+				o.NodeSteps, n.NodeSteps, o.StepsPerJob, n.StepsPerJob, o.FrontierOccupancy, n.FrontierOccupancy)
+		}
+	}
 	for i := range old.Results {
 		o, n := old.Results[i], fresh.Results[i]
 		if o.Experiment != n.Experiment || o.Label != n.Label || o.Algorithm != n.Algorithm || o.N != n.N {
 			return fmt.Errorf("record %d identity changed: %s/%s/%s/n=%d vs %s/%s/%s/n=%d",
 				i, o.Experiment, o.Label, o.Algorithm, o.N, n.Experiment, n.Label, n.Algorithm, n.N)
 		}
-		if o.Rounds != n.Rounds || o.Messages != n.Messages || o.Ratio != n.Ratio {
-			return fmt.Errorf("record %d (%s/%s) deterministic fields diverged: rounds %d→%d messages %d→%d ratio %.4f→%.4f",
-				i, o.Experiment, o.Label, o.Rounds, n.Rounds, o.Messages, n.Messages, o.Ratio, n.Ratio)
+		if o.Rounds != n.Rounds || o.Messages != n.Messages || o.Steps != n.Steps || o.Ratio != n.Ratio {
+			return fmt.Errorf("record %d (%s/%s) deterministic fields diverged: rounds %d→%d messages %d→%d steps %d→%d ratio %.4f→%.4f",
+				i, o.Experiment, o.Label, o.Rounds, n.Rounds, o.Messages, n.Messages, o.Steps, n.Steps, o.Ratio, n.Ratio)
 		}
 	}
 	return nil
@@ -190,7 +210,7 @@ func checkTimings(old, fresh *benchfmt.Doc) error {
 		pinned := ""
 		if pins[exp] {
 			pinned = "yes"
-			if delta > *flagTolerance {
+			if *flagTolerance >= 0 && delta > *flagTolerance {
 				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)",
 					exp, 100*delta, 100**flagTolerance))
 			}
@@ -207,6 +227,20 @@ func checkTimings(old, fresh *benchfmt.Doc) error {
 		fmt.Printf("sweep throughput: %.1f → %.1f jobs/s (%+.1f%%), engine allocs %d → %d\n",
 			old.Sweep.JobsPerSec, fresh.Sweep.JobsPerSec, 100*delta,
 			old.Sweep.EngineAllocs, fresh.Sweep.EngineAllocs)
+	}
+	// Instructions-per-job trend (schema v4): ns per node-step over the whole
+	// sweep, machine-normalized by the same factor as the pinned wall gates.
+	// Printed unconditionally — improvements should be as visible in the CI
+	// log as regressions are fatal.
+	if o, n := old.Instr, fresh.Instr; o != nil && n != nil && o.NsPerStep > 0 && n.NsPerStep > 0 {
+		adjusted := o.NsPerStep * factor
+		delta := n.NsPerStep/adjusted - 1
+		fmt.Printf("instruction budget: %.1f → %.1f ns/step (%+.1f%% after normalization; %.0f steps/job, frontier occupancy %.3f)\n",
+			o.NsPerStep, n.NsPerStep, 100*delta, n.StepsPerJob, n.FrontierOccupancy)
+		if *flagInstrTol >= 0 && delta > *flagInstrTol {
+			failures = append(failures, fmt.Sprintf("ns/step regressed %.1f%% (limit %.0f%%)",
+				100*delta, 100**flagInstrTol))
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("pinned hot-path regression: %s", strings.Join(failures, "; "))

@@ -11,6 +11,7 @@
 //	           [-cpuprofile path] [-memprofile path]
 //	localbench -scenarios dir [-exp name] [-seed N] [-parallel N]
 //	           [-workers N] [-json path] [-corpus-dir dir] [...]
+//	localbench -pgo default.pgo [-pgo-iters N] [-exp ...] [-seed N] [...]
 //
 // With -scenarios, the hard-coded experiment set is replaced by the
 // declarative corpus in the given directory (see internal/scenario and the
@@ -46,6 +47,14 @@
 // .CorpusBench), measured in -corpus-dir when set or a throwaway store
 // otherwise. The profile flags capture standard pprof profiles of the whole
 // run, so hot-path regressions can be diagnosed without editing code.
+//
+// With -pgo, the planned experiment sweep is executed repeatedly under a CPU
+// profile written to the given path — the representative workload profile
+// committed as default.pgo next to each main package, which makes every
+// plain `go build` profile-guided (see DESIGN.md §2.13 and `make pgo`).
+// The mode exists to produce one artifact, the profile: tables and -json
+// output are suppressed, and -cpuprofile is rejected (both flags would
+// start the same profiler).
 package main
 
 import (
@@ -88,6 +97,8 @@ var (
 	flagCorpus   = flag.String("corpus-dir", "", "content-addressed CSR image store directory backing the graph corpus (shared with graphgen -store and localserved -corpus-dir)")
 	flagCPU      = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flagMem      = flag.String("memprofile", "", "write a heap profile to this path")
+	flagPGO      = flag.String("pgo", "", "run the experiment sweep repeatedly under a CPU profile and write it to this path (the default.pgo workflow); suppresses all other output")
+	flagPGOIters = flag.Int("pgo-iters", 3, "sweep repetitions under -pgo (more = smoother profile)")
 )
 
 // recMeta is the planning-time half of a benchfmt.Record: everything known
@@ -229,6 +240,10 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *flagExp)
 	}
 
+	if *flagPGO != "" {
+		return runPGO(p)
+	}
+
 	results, stats := sweep.Run(p.jobs, sweep.Options{
 		Parallel:      *flagParallel,
 		EngineWorkers: *flagWorkers,
@@ -246,6 +261,41 @@ func run() error {
 		}
 	}
 	return writeMemProfile()
+}
+
+// runPGO executes the planned sweep -pgo-iters times under one CPU profile
+// and writes it to the -pgo path. The sweep is the same job set BENCH.json
+// measures — the engine's word scans, the lane traffic and the transformer
+// wrappers in their real mix — so the profile steers PGO at the loops that
+// matter. The first iteration warms the run-state pools; later iterations
+// profile the steady state a long-lived server actually runs in.
+func runPGO(p *plan) error {
+	if *flagCPU != "" {
+		return fmt.Errorf("-pgo and -cpuprofile both start the CPU profiler; use one")
+	}
+	iters := *flagPGOIters
+	if iters < 1 {
+		iters = 1
+	}
+	f, err := os.Create(*flagPGO)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	for i := 0; i < iters; i++ {
+		results, _ := sweep.Run(p.jobs, sweep.Options{
+			Parallel:      *flagParallel,
+			EngineWorkers: *flagWorkers,
+		})
+		if err := sweep.FirstErr(results); err != nil {
+			return fmt.Errorf("pgo sweep iteration %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // writeMemProfile honours -memprofile after a run (no-op when unset).
@@ -343,6 +393,7 @@ func writeJSON(path string, p *plan, stats sweep.Stats) error {
 			Messages:   r.Res.Messages,
 			WallNs:     r.Wall.Nanoseconds(),
 			Allocs:     r.Allocs,
+			Steps:      r.Res.Steps,
 		}
 		if m.ratioOf >= 0 {
 			base := p.results[m.ratioOf]
@@ -370,6 +421,14 @@ func writeJSON(path string, p *plan, stats sweep.Stats) error {
 		},
 		Corpus:  cb,
 		Results: collected,
+	}
+	if stats.NodeSteps > 0 {
+		doc.Instr = &benchfmt.InstrStats{
+			NodeSteps:         stats.NodeSteps,
+			StepsPerJob:       float64(stats.NodeSteps) / float64(stats.Jobs),
+			NsPerStep:         float64(stats.Wall.Nanoseconds()) / float64(stats.NodeSteps),
+			FrontierOccupancy: stats.FrontierOccupancy,
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -5,10 +5,13 @@
 // these types.
 package benchfmt
 
-// SchemaVersion is the current BENCH.json schema version. Version 3 added
-// the optional corpus cold/warm block (CorpusBench); version 2 switched
-// Allocs to the scheduler's per-worker counters.
-const SchemaVersion = 3
+// SchemaVersion is the current BENCH.json schema version. Version 4 added
+// the instruction-budget trend: per-record node-steps and the Instr block
+// (deterministic steps-per-job plus the machine-dependent ns/step trend
+// benchguard pins); version 3 added the optional corpus cold/warm block
+// (CorpusBench); version 2 switched Allocs to the scheduler's per-worker
+// counters.
+const SchemaVersion = 4
 
 // Record is one measured simulation.
 type Record struct {
@@ -26,6 +29,12 @@ type Record struct {
 	// BENCH.json is generated with; under a parallel sweep the job→worker
 	// assignment is timing-dependent, so warm/cold placement may vary.
 	Allocs uint64 `json:"allocs"`
+	// Steps is the run's total node-steps (Σ per-round live-frontier sizes)
+	// — the engine's deterministic work measure, identical at any worker
+	// count and pinned by benchguard like rounds and messages. Zero (and
+	// omitted) in documents that scrub machine-independent work metrics,
+	// such as the scenario corpus's deterministic view.
+	Steps int64 `json:"steps,omitempty"`
 	// Ratio is uniform rounds / non-uniform rounds, on uniform records only.
 	Ratio float64 `json:"ratio,omitempty"`
 }
@@ -38,6 +47,21 @@ type SweepStats struct {
 	WallNs       int64   `json:"wall_ns"`
 	JobsPerSec   float64 `json:"jobs_per_sec"`
 	EngineAllocs uint64  `json:"engine_allocs"`
+}
+
+// InstrStats is the schema-v4 instruction-budget block: the sweep's total
+// engine work in node-steps and the derived trend rates. NodeSteps,
+// StepsPerJob and FrontierOccupancy are pure functions of (graphs,
+// algorithms, seeds) — benchguard requires them byte-equal across
+// regenerations. NsPerStep (sweep wall time over node-steps) is the
+// machine-dependent instruction-cost trend: benchguard normalizes it by the
+// same machine factor as the pinned wall gates and fails CI on >20%
+// regressions, printing the trend line either way so wins are visible too.
+type InstrStats struct {
+	NodeSteps         int64   `json:"node_steps"`
+	StepsPerJob       float64 `json:"steps_per_job"`
+	NsPerStep         float64 `json:"ns_per_step"`
+	FrontierOccupancy float64 `json:"frontier_occupancy"`
 }
 
 // CorpusBench is the two-tier graph-corpus measurement: how long the
@@ -66,6 +90,9 @@ type Doc struct {
 	Workers       int        `json:"workers"`
 	Large         bool       `json:"large"`
 	Sweep         SweepStats `json:"sweep"`
+	// Instr is the instruction-budget block (schema ≥ 4); absent in
+	// documents whose records carry no step counts.
+	Instr *InstrStats `json:"instr,omitempty"`
 	// Corpus is the disk-tier cold/warm measurement; absent when the run
 	// skipped it (schema ≤ 2 files, or -json without a measurable family).
 	Corpus  *CorpusBench `json:"corpus,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -53,9 +54,12 @@ type Options struct {
 	State *RunState
 	// Permute, when non-nil, steps each round's frontier in a seeded
 	// pseudo-random order instead of ascending node order — the adversarial
-	// message-delivery permutation of the synchronous model. A round's sends
-	// are invisible until the next round (the two message lanes), so results
-	// are byte-identical to the lockstep order at any worker count; what the
+	// message-delivery permutation of the synchronous model. The permutation
+	// is applied to set-bit ranks: the round's live set is materialized from
+	// the frontier bitset in ascending order (member k is the rank-k live
+	// node) and that rank list is shuffled. A round's sends are invisible
+	// until the next round (the two message lanes), so results are
+	// byte-identical to the lockstep order at any worker count; what the
 	// permutation diversifies is the memory-access and worker-partition
 	// order, which the determinism tests pin.
 	Permute *Permute
@@ -72,6 +76,23 @@ type Result struct {
 	Rounds int
 	// Messages is the total number of (non-nil) messages delivered.
 	Messages int64
+	// Steps is the total number of node-steps executed: the sum over rounds
+	// of the live-frontier size. It is a deterministic, machine-independent
+	// measure of the engine work a run performs (the instruction-count proxy
+	// BENCH.json tracks), identical for any worker count or scheduler.
+	Steps int64
+}
+
+// FrontierOccupancy returns the mean fraction of nodes live per round:
+// Steps / (Rounds × n). The paper's uniform algorithms spend most rounds in
+// sparse pseudo-halted tails, so low occupancy is the common steady state —
+// the regime the bitset frontier representation is shaped for.
+func (r *Result) FrontierOccupancy() float64 {
+	slots := int64(r.Rounds) * int64(len(r.HaltRounds))
+	if slots == 0 {
+		return 0
+	}
+	return float64(r.Steps) / float64(slots)
 }
 
 // workerTally accumulates one worker's round statistics. It is padded to a
@@ -85,10 +106,12 @@ type workerTally struct {
 }
 
 // job is one round's work assignment for a pooled worker: the round number
-// and the frontier slice of node indices to step.
+// and either an explicit node list (the permuted scheduler's shuffled
+// ranks) or a word range [loW, hiW) of the frontier bitset to scan.
 type job struct {
-	r     int
-	items []int32
+	r        int
+	items    []int32
+	loW, hiW int32
 }
 
 // Run simulates algorithm a on graph g until every node has terminated and
@@ -96,11 +119,18 @@ type job struct {
 // at round 0, per the paper's Section 2 reduction (non-simultaneous wake-up
 // is handled by Compose/WithWakeup, which are themselves Algorithms).
 //
-// The engine keeps an explicit frontier of live nodes, so a round costs
-// O(live nodes + messages) rather than O(n); messages travel through two
-// flat lanes of 2|E| slots indexed by the graph's dense directed-edge
-// numbering (graph.AdjOffset), and parallel execution reuses a persistent
-// worker pool with one channel hand-off per worker per round. Sequential
+// The engine keeps the live-node frontier and the halted set as word-level
+// bitsets (internal/bitset): a round scans the frontier's words with
+// branch-free bit tricks (64 nodes per probe, so the long pseudo-halted
+// tails of the paper's uniform algorithms cost words-scanned, not
+// nodes-considered), halting nodes set their bit in the halted set, and the
+// between-rounds frontier update is one and-not + popcount pass instead of
+// a per-node compaction. Messages travel through two flat lanes of 2|E|
+// slots indexed by the graph's dense directed-edge numbering
+// (graph.AdjOffset), and parallel execution reuses a persistent worker pool
+// with one channel hand-off per worker per round; parallel rounds partition
+// the frontier into popcount-balanced word ranges, so workers never share a
+// word and each owns a contiguous slice of the lanes' locality. Sequential
 // and parallel runs produce byte-identical Results for any worker count.
 func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	n := g.N()
@@ -129,7 +159,8 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	st.prepare(n, lanes, workers)
 	st.lanesDirty = true
 	states := st.states
-	halted := st.halted
+	halted := &st.halted
+	active := &st.active
 	haltRounds := make([]int, n)
 	outputs := make([]any, n)
 	// All neighbour-ID slices are carved from one flat arena (the CSR
@@ -149,62 +180,102 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	st.idArena = idArena
 
 	// Flat message lanes: slot AdjOffset(u)+k carries the message awaiting u
-	// on port k. A node clears only its own inbox slots, and only those that
-	// were actually written, after reading them; slots of halted nodes are
-	// never read again, so no global wipe of the lanes is ever needed during
-	// a run (prepare wipes stale slots once, before the next reuse).
+	// on port k. A node clears only its own inbox slots after reading them
+	// (one batched memclr per inbox window, a cache-line-wide wipe instead
+	// of a branch per port); slots of halted nodes are never read again, so
+	// no global wipe of the lanes is ever needed during a run (prepare wipes
+	// stale slots once, before the next reuse).
 	inbox := st.inbox
 	next := st.next
 
-	// The frontier lists live nodes in increasing order; halting nodes are
-	// compacted out after each round, so late rounds only touch live nodes.
-	frontier := st.frontier
-	for u := range frontier {
-		frontier[u] = int32(u)
-	}
+	// The frontier bitset holds the live nodes; all n are live at wake-up.
+	// Halts recorded during a round go to the halted bitset — atomically
+	// when workers can share a word — and are folded into the frontier
+	// between rounds, so the frontier is immutable while a round is stepped.
+	activeWords := active.Words()
+	numWords := int32(len(activeWords))
+	atomicHalt := workers > 1
 
 	tallies := st.tallies
-	step := func(w, r int, items []int32) {
+	// stepNode advances one live node one round; the returned count is the
+	// node's sent messages, accumulated per driver so the shared tally is
+	// written once per hand-off, not once per delivery.
+	stepNode := func(t *workerTally, r, u int) int64 {
+		off := g.AdjOffset(u)
+		deg := g.Degree(u)
+		recv := inbox[off : off+deg]
+		send, done := states[u].Round(r, recv)
+		if len(send) != 0 && len(send) != deg {
+			t.err = fmt.Errorf("local: %s: node %d sent %d messages with degree %d",
+				a.Name(), u, len(send), deg)
+			return 0
+		}
+		// Clear only the slots that were actually written: in the sparse
+		// steady state a live node usually received nothing, and skipping
+		// the store keeps its inbox's cache lines clean instead of dirtying
+		// 16 bytes per port per round (an unconditional clear measurably
+		// regresses the long-tail benchmarks).
+		for k := range recv {
+			if recv[k] != nil {
+				recv[k] = nil
+			}
+		}
+		sent := int64(0)
+		if len(send) != 0 {
+			rev := g.ReverseEdges(u)
+			for k, msg := range send {
+				if msg != nil {
+					next[rev[k]] = msg
+					sent++
+				}
+			}
+		}
+		if done {
+			if atomicHalt {
+				halted.AddAtomic(u)
+			} else {
+				halted.Add(u)
+			}
+			haltRounds[u] = r
+			outputs[u] = states[u].Output()
+		}
+		return sent
+	}
+	// stepWords walks the frontier's set bits over a word range — the
+	// lockstep hot loop: one TZCNT per live node, 64 absent nodes skipped
+	// per zero-word probe.
+	stepWords := func(w, r int, loW, hiW int32) {
+		t := &tallies[w]
+		sent := int64(0)
+		for wi := loW; wi < hiW; wi++ {
+			for bw := activeWords[wi]; bw != 0; bw &= bw - 1 {
+				sent += stepNode(t, r, int(wi)<<6+bits.TrailingZeros64(bw))
+				if t.err != nil {
+					t.msgs += sent
+					return
+				}
+			}
+		}
+		t.msgs += sent
+	}
+	// stepList steps an explicit node list — the permuted scheduler's
+	// shuffled ranks, where nodes of one word may land on different workers
+	// (hence the atomic halt recording).
+	stepList := func(w, r int, items []int32) {
 		t := &tallies[w]
 		sent := int64(0)
 		for _, un := range items {
-			u := int(un)
-			off := g.AdjOffset(u)
-			deg := g.Degree(u)
-			recv := inbox[off : off+deg]
-			send, done := states[u].Round(r, recv)
-			if len(send) != 0 && len(send) != deg {
-				t.err = fmt.Errorf("local: %s: node %d sent %d messages with degree %d",
-					a.Name(), u, len(send), deg)
-				t.msgs += sent
-				return
-			}
-			for k := range recv {
-				if recv[k] != nil {
-					recv[k] = nil
-				}
-			}
-			if len(send) != 0 {
-				rev := g.ReverseEdges(u)
-				for k, msg := range send {
-					if msg != nil {
-						next[rev[k]] = msg
-						sent++
-					}
-				}
-			}
-			if done {
-				halted[u] = true
-				haltRounds[u] = r
-				outputs[u] = states[u].Output()
+			sent += stepNode(t, r, int(un))
+			if t.err != nil {
+				break
 			}
 		}
 		t.msgs += sent
 	}
 
 	// Persistent pool: workers-1 goroutines live for the whole run, each fed
-	// by its own buffered channel; the coordinator steps chunk 0 itself. The
-	// channel hand-off and wg.Wait form the round barrier.
+	// by its own buffered channel; the coordinator steps the first partition
+	// itself. The channel hand-off and wg.Wait form the round barrier.
 	var wg sync.WaitGroup
 	var pool []chan job
 	if workers > 1 {
@@ -214,7 +285,11 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 			pool[i] = ch
 			go func(w int) {
 				for j := range ch {
-					step(w, j.r, j.items)
+					if j.items != nil {
+						stepList(w, j.r, j.items)
+					} else {
+						stepWords(w, j.r, j.loW, j.hiW)
+					}
 					wg.Done()
 				}
 			}(i + 1)
@@ -232,7 +307,9 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 	}
 
 	ctx := opts.Context
-	for r := 0; r < maxRounds && len(frontier) > 0; r++ {
+	live := n
+	var steps int64
+	for r := 0; r < maxRounds && live > 0; r++ {
 		// One cancellation check per round: server timeouts and client
 		// disconnects stop a long simulation at the next round boundary
 		// instead of running it to completion. Checking between rounds keeps
@@ -241,31 +318,68 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 			select {
 			case <-ctx.Done():
 				return nil, fmt.Errorf("%w: %w: algorithm %q stopped after %d rounds with %d of %d nodes still running",
-					ErrCanceled, ctx.Err(), a.Name(), r, len(frontier), n)
+					ErrCanceled, ctx.Err(), a.Name(), r, live, n)
 			default:
 			}
 		}
-		if permRng != nil {
-			permRng.Shuffle(len(frontier), func(i, j int) {
-				frontier[i], frontier[j] = frontier[j], frontier[i]
-			})
-		}
-		live := len(frontier)
 		nw := workers
 		if nw > live {
 			nw = live
 		}
-		if nw <= 1 {
-			step(0, r, frontier)
-		} else {
-			chunk := (live + nw - 1) / nw
-			for w := 1; w*chunk < live; w++ {
-				lo := w * chunk
-				hi := min(lo+chunk, live)
-				wg.Add(1)
-				pool[w-1] <- job{r: r, items: frontier[lo:hi]}
+		if permRng != nil {
+			// Rank-based adversarial permutation: materialize the frontier's
+			// members in ascending order and shuffle the rank list.
+			ranks := active.AppendSet(st.permScratch(n))
+			st.perm = ranks
+			permRng.Shuffle(len(ranks), func(i, j int) {
+				ranks[i], ranks[j] = ranks[j], ranks[i]
+			})
+			if nw <= 1 {
+				stepList(0, r, ranks)
+			} else {
+				chunk := (live + nw - 1) / nw
+				for w := 1; w*chunk < live; w++ {
+					lo := w * chunk
+					hi := min(lo+chunk, live)
+					wg.Add(1)
+					pool[w-1] <- job{r: r, items: ranks[lo:hi]}
+				}
+				stepList(0, r, ranks[:chunk])
+				wg.Wait()
 			}
-			step(0, r, frontier[:chunk])
+		} else if nw <= 1 {
+			stepWords(0, r, 0, numWords)
+		} else {
+			// Popcount-balanced partition: cut the word array into at most
+			// nw contiguous ranges carrying ~live/nw frontier members each.
+			// Word granularity means no two workers ever touch the same
+			// halted word, and each worker's lane traffic stays contiguous.
+			target := (live + nw - 1) / nw
+			cuts := st.cuts[:0]
+			acc, goal := 0, target
+			for wi := int32(0); wi < numWords && len(cuts) < nw-1; wi++ {
+				acc += bits.OnesCount64(activeWords[wi])
+				if acc >= goal {
+					cuts = append(cuts, wi+1)
+					goal += target
+				}
+			}
+			st.cuts = cuts
+			lo := int32(0)
+			for i, hi := range cuts {
+				if i > 0 {
+					wg.Add(1)
+					pool[i-1] <- job{r: r, loW: lo, hiW: hi}
+				}
+				lo = hi
+			}
+			if len(cuts) > 0 {
+				wg.Add(1)
+				pool[len(cuts)-1] <- job{r: r, loW: lo, hiW: numWords}
+				stepWords(0, r, 0, cuts[0])
+			} else {
+				stepWords(0, r, 0, numWords)
+			}
 			wg.Wait()
 		}
 		for w := range tallies {
@@ -274,22 +388,19 @@ func Run(g *graph.Graph, a Algorithm, opts Options) (*Result, error) {
 			}
 		}
 		inbox, next = next, inbox
-		keep := 0
-		for _, u := range frontier {
-			if !halted[u] {
-				frontier[keep] = u
-				keep++
-			}
-		}
-		frontier = frontier[:keep]
+		steps += int64(live)
+		// Fold this round's halts into the frontier: one word-wise and-not +
+		// popcount pass replaces the per-node compaction loop.
+		live = active.AndNotCount(halted)
 	}
-	if len(frontier) > 0 {
+	if live > 0 {
 		return nil, fmt.Errorf("%w: algorithm %q, %d of %d nodes still running after %d rounds",
-			ErrMaxRounds, a.Name(), len(frontier), n, maxRounds)
+			ErrMaxRounds, a.Name(), live, n, maxRounds)
 	}
 	res := &Result{
 		Outputs:    outputs,
 		HaltRounds: haltRounds,
+		Steps:      steps,
 	}
 	for u := 0; u < n; u++ {
 		if haltRounds[u]+1 > res.Rounds {

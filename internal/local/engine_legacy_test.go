@@ -51,9 +51,11 @@ func runLegacy(g *graph.Graph, a local.Algorithm, opts local.Options) (*local.Re
 	}
 
 	live := n
+	var steps int64
 	runErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for r := 0; r < maxRounds && live > 0; r++ {
+		steps += int64(live)
 		step := func(w, lo, hi int) {
 			defer wg.Done()
 			for u := lo; u < hi; u++ {
@@ -121,6 +123,7 @@ func runLegacy(g *graph.Graph, a local.Algorithm, opts local.Options) (*local.Re
 		Outputs:    outputs,
 		HaltRounds: haltRounds,
 		Rounds:     0,
+		Steps:      steps,
 	}
 	for u := 0; u < n; u++ {
 		if haltRounds[u]+1 > res.Rounds {

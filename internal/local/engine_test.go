@@ -90,6 +90,9 @@ func sameResult(t *testing.T, label string, want, got *local.Result) {
 	if want.Messages != got.Messages {
 		t.Errorf("%s: Messages %d vs %d", label, want.Messages, got.Messages)
 	}
+	if want.Steps != got.Steps {
+		t.Errorf("%s: Steps %d vs %d", label, want.Steps, got.Steps)
+	}
 }
 
 // TestEngineDeterministicAcrossWorkerCounts checks the acceptance criterion

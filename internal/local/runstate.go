@@ -3,15 +3,18 @@ package local
 import (
 	"math/bits"
 	"sync"
+
+	"github.com/unilocal/unilocal/internal/bitset"
 )
 
 // RunState holds every per-run buffer the simulation engine needs: the node
-// state-machine slice, the halted bitmap, the neighbour-identity arena, the
-// two flat message lanes, the live-node frontier and the per-worker tallies.
-// Extracting them from Run makes warm runs on same-shaped graphs near-zero-
-// alloc: a state is prepared (resliced and selectively cleared, never
-// reallocated) instead of built from scratch, and Run recycles states through
-// an internal size-bucketed pool when the caller does not supply one.
+// state-machine slice, the halted and frontier bitsets, the neighbour-identity
+// arena, the two flat message lanes, the per-worker tallies and the parallel-
+// partition scratch. Extracting them from Run makes warm runs on same-shaped
+// graphs near-zero-alloc: a state is prepared (resliced and selectively
+// cleared, never reallocated) instead of built from scratch, and Run recycles
+// states through an internal size-bucketed pool when the caller does not
+// supply one.
 //
 // The zero value is ready to use. A RunState may be reused across any number
 // of sequential Runs on graphs of any shape (buffers grow as needed and
@@ -23,13 +26,28 @@ import (
 // deliberately NOT part of the state: a Result stays valid after its
 // RunState is reused or released.
 type RunState struct {
-	states   []Node
-	halted   []bool
-	idArena  []int64
-	inbox    []Message
-	next     []Message
-	frontier []int32
-	tallies  []workerTally
+	states  []Node
+	idArena []int64
+	inbox   []Message
+	next    []Message
+	tallies []workerTally
+
+	// halted and active are the engine's two word-level node sets: active is
+	// the round's live frontier (read-only while a round is stepped), halted
+	// collects the round's terminations and is folded into active between
+	// rounds (bitset.Set.AndNotCount). Both are n/64 words — their growth is
+	// word-granular and tracked by the Reset/Fill grew results, never inferred
+	// from the n-sized buffers' class math (a pooled state can grow its
+	// n-sized buffers without crossing a word boundary, and vice versa).
+	halted bitset.Set
+	active bitset.Set
+	// perm is the adversarial permutation scratch: the frontier's members
+	// materialized by rank, then shuffled. Lazily grown — lockstep runs never
+	// allocate it.
+	perm []int32
+	// cuts holds the popcount-balanced word-partition boundaries of a
+	// parallel round (at most workers-1 entries).
+	cuts []int32
 
 	// lanesDirty records that inbox/next may hold stale messages from a
 	// previous run (slots of halted nodes are never cleared during a run, see
@@ -53,7 +71,7 @@ func (s *RunState) Allocs() uint64 { return s.allocs }
 
 // prepare sizes every buffer for a run on n nodes, lanes directed edges and
 // the given worker count, clearing exactly the per-run data that must not
-// leak between runs (halt flags, stale lane slots, tallies).
+// leak between runs (halt bits, the frontier, stale lane slots, tallies).
 func (s *RunState) prepare(n, lanes, workers int) {
 	if cap(s.states) < n {
 		s.states = make([]Node, n)
@@ -65,12 +83,18 @@ func (s *RunState) prepare(n, lanes, workers int) {
 		// reuse), which matches the old one-allocation-per-run lifetime.
 		s.states = s.states[:n]
 	}
-	if cap(s.halted) < n {
-		s.halted = make([]bool, n)
+	// The bitsets clear (or fill) exactly their WordsFor(n) live window;
+	// words past it stay stale until a larger run resizes into them. Their
+	// growth is counted from what actually grew: across a release/acquire
+	// cycle an n-sized buffer can grow while the word count stands still
+	// (n 120 → 128 keeps 2 words) or stays inside one size class while the
+	// word count grows, so charging them alongside the n-sized buffers
+	// would make the alloc counter shape-dependent in the wrong dimension.
+	if s.halted.Reset(n) {
 		s.allocs++
-	} else {
-		s.halted = s.halted[:n]
-		clear(s.halted)
+	}
+	if s.active.Fill(n) {
+		s.allocs++
 	}
 	if cap(s.idArena) < lanes {
 		s.idArena = make([]int64, 0, lanes)
@@ -99,11 +123,9 @@ func (s *RunState) prepare(n, lanes, workers int) {
 	// Every slot beyond lanes is clean now — freshly allocated, just wiped,
 	// or never dirtied — and the coming run writes only [0, lanes).
 	s.lanesHigh = lanes
-	if cap(s.frontier) < n {
-		s.frontier = make([]int32, n)
+	if workers > 1 && cap(s.cuts) < workers {
+		s.cuts = make([]int32, 0, workers)
 		s.allocs++
-	} else {
-		s.frontier = s.frontier[:n]
 	}
 	if cap(s.tallies) < workers {
 		s.tallies = make([]workerTally, workers)
@@ -116,10 +138,25 @@ func (s *RunState) prepare(n, lanes, workers int) {
 	}
 }
 
+// permScratch returns the permutation scratch resliced to length zero with
+// capacity for n ranks, growing it on first use (only the permuted scheduler
+// pays for it).
+func (s *RunState) permScratch(n int) []int32 {
+	if cap(s.perm) < n {
+		s.perm = make([]int32, 0, n)
+		s.allocs++
+	}
+	return s.perm[:0]
+}
+
 // runStatePools buckets reusable states by the power-of-two class of their
 // dominant dimension (nodes + lane slots), so a warm Run on a same-shaped
 // graph pops a state whose buffers already fit and never grows them, while
-// wildly different shapes never evict each other's buffers.
+// wildly different shapes never evict each other's buffers. The bitsets ride
+// along: their word capacity is derived from the same node dimension
+// (WordsFor is monotone in n), so a state whose states buffer fits a shape
+// can at worst grow one word tail — they contribute growth accounting (see
+// prepare) but never a class dimension.
 var runStatePools [bits.UintSize + 1]sync.Pool
 
 func stateSizeClass(n, lanes int) int { return bits.Len(uint(n + lanes)) }

@@ -8,6 +8,8 @@ package local
 
 import (
 	"testing"
+
+	"github.com/unilocal/unilocal/internal/bitset"
 )
 
 // TestRunStateGrowThenReleaseClass pins the pure bucketing math: after a
@@ -72,4 +74,74 @@ func TestRunStateGrowThenReleaseRoundtrip(t *testing.T) {
 			cap(got.states), bigN, cap(got.inbox), 2*bigEdges)
 	}
 	got.Release()
+}
+
+// TestRunStateWordBoundaryAccounting pins the bitset dimension of the alloc
+// accounting (ISSUE 10 satellite): the n/64-sized word arrays grow on their
+// own schedule, not the n-sized buffers', so prepare must charge them only
+// when a word boundary is actually crossed. A grow-then-release cycle that
+// crosses an n-sized capacity but stays inside the same word count (120 →
+// 128 nodes, 2 words either way) must not count a bitset allocation, and a
+// one-bit step over a word boundary (128 → 129) must count exactly the two
+// sets' growth while the other buffers are charged independently.
+func TestRunStateWordBoundaryAccounting(t *testing.T) {
+	// reclaim pulls st back out of the pool right after its Release, so the
+	// test can keep driving the same instance through release cycles without
+	// another Acquire racing it away (states other tests parked in the class
+	// are discarded; a GC-swept pool leaves st unpooled, which is also fine).
+	reclaim := func(st *RunState) {
+		class := stateSizeClass(cap(st.states), cap(st.inbox))
+		for {
+			got, _ := runStatePools[class].Get().(*RunState)
+			if got == nil || got == st {
+				return
+			}
+		}
+	}
+	const lanes = 64
+	st := &RunState{}
+	st.prepare(120, lanes, 1)
+	if got, want := len(st.active.Words()), bitset.WordsFor(120); got != want {
+		t.Fatalf("active sized to %d words, want %d", got, want)
+	}
+
+	// Release/re-prepare inside the same word count: states grows (cap 120 <
+	// 128) but both bitsets already hold 2 words — zero bitset allocations.
+	st.Release()
+	reclaim(st)
+	before := st.Allocs()
+	st.prepare(128, lanes, 1)
+	// states grew; idArena/lanes/tallies fit; bitsets must not have grown.
+	if got := st.Allocs() - before; got != 1 {
+		t.Errorf("prepare(120→128): %d allocations, want 1 (states only; bitsets hold 2 words)", got)
+	}
+	if got := len(st.active.Words()); got != 2 {
+		t.Errorf("active holds %d words after n=128, want 2", got)
+	}
+
+	// One bit across the word boundary: both bitsets grow to 3 words, states
+	// grows too — exactly 3 allocations, and the fresh third word must not
+	// leak stale frontier bits (Fill masks the tail, Reset clears the window).
+	st.Release()
+	reclaim(st)
+	before = st.Allocs()
+	st.prepare(129, lanes, 1)
+	if got := st.Allocs() - before; got != 3 {
+		t.Errorf("prepare(128→129): %d allocations, want 3 (states + halted + active)", got)
+	}
+	if got := st.active.Count(); got != 129 {
+		t.Errorf("active frontier holds %d members after Fill(129), want 129", got)
+	}
+	if got := st.halted.Count(); got != 0 {
+		t.Errorf("halted set holds %d members after Reset(129), want 0", got)
+	}
+
+	// Warm re-prepare on the same shape: no growth anywhere.
+	st.Release()
+	reclaim(st)
+	before = st.Allocs()
+	st.prepare(129, lanes, 1)
+	if got := st.Allocs() - before; got != 0 {
+		t.Errorf("warm prepare(129): %d allocations, want 0", got)
+	}
 }

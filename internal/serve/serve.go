@@ -137,6 +137,8 @@ type Server struct {
 	jobs         atomic.Uint64
 	sweepWallNs  atomic.Uint64
 	engineAllocs atomic.Uint64
+	nodeSteps    atomic.Uint64
+	stepSlots    atomic.Uint64
 }
 
 // New returns a ready Server. The graph corpus and response cache live for
@@ -617,6 +619,8 @@ func (s *Server) recordStats(stats sweep.Stats) {
 	s.jobs.Add(uint64(stats.Jobs))
 	s.sweepWallNs.Add(uint64(stats.Wall.Nanoseconds()))
 	s.engineAllocs.Add(stats.EngineAllocs)
+	s.nodeSteps.Add(uint64(stats.NodeSteps))
+	s.stepSlots.Add(uint64(stats.StepSlots))
 }
 
 // writeBusy answers an admission overflow with 429, a Retry-After hint and
@@ -696,10 +700,17 @@ type Metrics struct {
 
 	// Jobs / JobsPerSec / EngineAllocs aggregate the sweep batches executed
 	// since start; JobsPerSec is jobs over cumulative batch wall time (the
-	// scheduler's throughput, not the server's request rate).
-	Jobs         uint64  `json:"jobs"`
-	JobsPerSec   float64 `json:"jobs_per_sec"`
-	EngineAllocs uint64  `json:"engine_allocs"`
+	// scheduler's throughput, not the server's request rate). NodeSteps is
+	// the cumulative engine work in node-steps (Σ per-run live-frontier
+	// sizes) and FrontierOccupancy is NodeSteps over the Rounds × n step
+	// slots those runs spanned — the bitset data plane's payoff gauge: low
+	// occupancy means the word-level frontier is skipping most of the graph
+	// most rounds.
+	Jobs              uint64  `json:"jobs"`
+	JobsPerSec        float64 `json:"jobs_per_sec"`
+	EngineAllocs      uint64  `json:"engine_allocs"`
+	NodeSteps         uint64  `json:"node_steps"`
+	FrontierOccupancy float64 `json:"frontier_occupancy"`
 
 	Corpus struct {
 		Hits      uint64 `json:"hits"`
@@ -749,6 +760,10 @@ func (s *Server) Snapshot() Metrics {
 	m.Failed = s.failed.Load()
 	m.Jobs = s.jobs.Load()
 	m.EngineAllocs = s.engineAllocs.Load()
+	m.NodeSteps = s.nodeSteps.Load()
+	if slots := s.stepSlots.Load(); slots > 0 {
+		m.FrontierOccupancy = float64(m.NodeSteps) / float64(slots)
+	}
 	if wall := s.sweepWallNs.Load(); wall > 0 {
 		m.JobsPerSec = float64(m.Jobs) / (float64(wall) / 1e9)
 	}

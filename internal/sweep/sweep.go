@@ -95,6 +95,17 @@ type Stats struct {
 	JobsPerSec float64
 	// EngineAllocs is the sum of all per-job Allocs.
 	EngineAllocs uint64
+	// NodeSteps is the sum of all per-job Result.Steps — the batch's total
+	// engine work in node-steps, deterministic at any parallelism (the
+	// instruction-count proxy BENCH.json schema v4 pins).
+	NodeSteps int64
+	// StepSlots is the sum over jobs of Rounds × n — the node-steps a
+	// frontier-less engine would execute. NodeSteps/StepSlots is the batch's
+	// frontier occupancy.
+	StepSlots int64
+	// FrontierOccupancy is NodeSteps / StepSlots: the mean fraction of nodes
+	// live per round across the batch (0 when the batch ran no rounds).
+	FrontierOccupancy float64
 }
 
 // Options configures a batch.
@@ -293,6 +304,13 @@ func Run(jobs []Job, opts Options) (Results, Stats) {
 	stats := Stats{Jobs: len(jobs), Workers: parallel, Wall: time.Since(start)}
 	for i := range results {
 		stats.EngineAllocs += results[i].Allocs
+		if res := results[i].Res; res != nil {
+			stats.NodeSteps += res.Steps
+			stats.StepSlots += int64(res.Rounds) * int64(len(res.HaltRounds))
+		}
+	}
+	if stats.StepSlots > 0 {
+		stats.FrontierOccupancy = float64(stats.NodeSteps) / float64(stats.StepSlots)
 	}
 	if secs := stats.Wall.Seconds(); secs > 0 {
 		stats.JobsPerSec = float64(stats.Jobs) / secs
